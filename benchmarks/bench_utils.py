@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+#: Directory where every benchmark writes the table/series it regenerated.
+#: These files are the measured side of the paper-vs-measured comparison in
+#: EXPERIMENTS.md.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_and_report(benchmark, experiment_fn, scale, **kwargs):
+    """Run one experiment under pytest-benchmark, print and persist its table."""
+    result = benchmark.pedantic(lambda: experiment_fn(scale, **kwargs),
+                                rounds=1, iterations=1)
+    print()
+    print(result.rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.name}.txt")
+    with open(path, "w") as handle:
+        handle.write(f"{result.paper_reference} — {result.name}\n\n")
+        handle.write(result.rendered + "\n")
+    return result

@@ -1,0 +1,63 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the committed
+"bench" scale (reduced trial counts, reduced-size models — see DESIGN.md
+section 5) and prints the resulting rows/series so the output can be compared
+against the paper line by line.  ``pytest-benchmark`` records the wall-clock
+cost of each regeneration.
+
+Model training results are cached in-process (``repro.models.zoo``), so the
+first benchmark that needs a given model pays its training cost and the rest
+reuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+#: The committed benchmark scale.  Raise `trials` toward 3000 and
+#: `num_inputs` to 10 to approach the paper's campaign sizes.
+BENCH_SCALE = ExperimentScale(
+    trials=40,
+    num_inputs=5,
+    classifier_models=("lenet", "alexnet", "vgg11"),
+    large_classifier_models=("vgg16", "resnet18", "squeezenet"),
+    steering_models=("dave", "comma"),
+    include_large_models=True,
+    profile_samples=80,
+    seed=0,
+)
+
+#: A lighter scale for the experiments that multiply campaign count by bit
+#: counts or percentiles (Figs. 9-12, Table VI).
+BENCH_SCALE_LIGHT = ExperimentScale(
+    trials=30,
+    num_inputs=4,
+    classifier_models=("lenet", "alexnet"),
+    large_classifier_models=("resnet18",),
+    steering_models=("dave", "comma"),
+    include_large_models=True,
+    profile_samples=60,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale_light() -> ExperimentScale:
+    return BENCH_SCALE_LIGHT
+
+
+def run_and_report(benchmark, experiment_fn, scale, **kwargs):
+    """Run one experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(lambda: experiment_fn(scale, **kwargs),
+                                rounds=1, iterations=1)
+    print()
+    print(result.rendered)
+    return result

@@ -1,0 +1,25 @@
+"""Benchmark: Fig. 10 / Table V — bound percentile vs. resilience/accuracy."""
+
+import numpy as np
+
+from repro.experiments import run_fig10_bound_tradeoff
+
+from bench_utils import run_and_report
+
+
+def test_fig10_bound_tradeoff(benchmark, bench_scale_light):
+    result = run_and_report(benchmark, run_fig10_bound_tradeoff,
+                            bench_scale_light,
+                            percentiles=(100.0, 99.0, 98.0))
+    sdc = result.data["sdc"]
+    accuracy = result.data["accuracy"]
+    original_sdc = np.mean(list(sdc["original"].values()))
+    tightest_sdc = np.mean(list(sdc["bound-98%"].values()))
+    loosest_sdc = np.mean(list(sdc["bound-100%"].values()))
+    # Tighter bounds give at least as much resilience as the max-value bound,
+    # and all protected configurations beat the unprotected model.
+    assert tightest_sdc <= loosest_sdc + 1e-9
+    assert loosest_sdc <= original_sdc + 1e-9
+    # The 100% bound must not change accuracy; tighter bounds may cost some.
+    assert accuracy["bound-100%"]["rmse"] <= accuracy["original"]["rmse"] * 1.01
+    assert accuracy["bound-98%"]["rmse"] >= accuracy["bound-100%"]["rmse"] - 1e-9

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 12 — steering-model SDC rates under multi-bit flips."""
+
+import numpy as np
+
+from repro.experiments import run_fig12_multibit_steering
+
+from bench_utils import run_and_report
+
+
+def test_fig12_multibit_steering(benchmark, bench_scale_light):
+    result = run_and_report(benchmark, run_fig12_multibit_steering,
+                            bench_scale_light, bit_counts=(2, 4))
+    for model_name, series in result.data["models"].items():
+        original = np.array(series["original"])
+        protected = np.array(series["ranger"])
+        assert np.all(protected <= original + 1e-9)

@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 7 — steering-model SDC rates at deviation thresholds."""
+
+import numpy as np
+
+from repro.experiments import run_fig7_steering_sdc
+
+from bench_utils import run_and_report
+
+
+def test_fig7_steering_sdc(benchmark, bench_scale):
+    result = run_and_report(benchmark, run_fig7_steering_sdc, bench_scale)
+    for model_name, model_data in result.data.items():
+        originals = np.array(list(model_data["original"].values()))
+        protected = np.array(list(model_data["ranger"].values()))
+        assert np.all(protected <= originals + 1e-9)
+    # Comma (degrees output) should be protected almost completely, matching
+    # the paper's 50x reduction; Dave (radians/atan head) benefits less.
+    comma = result.data["comma"]
+    assert np.mean(list(comma["ranger"].values())) <= \
+        np.mean(list(comma["original"].values())) / 2.0

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 8 — relative SDC reduction, Hong et al. vs. Ranger."""
+
+import numpy as np
+
+from repro.experiments import run_fig8_hong_comparison
+
+from bench_utils import run_and_report
+
+
+def test_fig8_hong_comparison(benchmark, bench_scale_light):
+    result = run_and_report(benchmark, run_fig8_hong_comparison,
+                            bench_scale_light, models=("lenet", "comma"))
+    for model_name, entry in result.data.items():
+        # The defense does nothing on models that already use Tanh...
+        assert entry["tanh_hong"] == 0.0
+        # ...while Ranger still reduces SDCs on both variants.
+        assert entry["tanh_ranger"] >= 0.0
+        assert entry["relu_ranger"] >= entry["relu_hong"] - 20.0

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 9 — SDC rates under the 16-bit (Q14.2) fixed-point type."""
+
+import numpy as np
+
+from repro.experiments import run_fig9_fixed16_sdc
+
+from bench_utils import run_and_report
+
+
+def test_fig9_fixed16_sdc(benchmark, bench_scale_light):
+    result = run_and_report(benchmark, run_fig9_fixed16_sdc, bench_scale_light)
+    originals = [entry["original"] for entry in result.data.values()]
+    protected = [entry["ranger"] for entry in result.data.values()]
+    # RQ4: Ranger remains effective with reduced-precision datatypes
+    # (paper: 15.11% -> 0.93% on average).
+    assert np.mean(protected) <= np.mean(originals)

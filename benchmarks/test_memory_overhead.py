@@ -1,0 +1,12 @@
+"""Benchmark: RQ3 memory overhead — stored bound values vs. model weights."""
+
+from repro.experiments import run_memory_overhead
+
+from bench_utils import run_and_report
+
+
+def test_memory_overhead(benchmark, bench_scale):
+    result = run_and_report(benchmark, run_memory_overhead, bench_scale)
+    # The stored restriction bounds are a vanishing fraction of the weights
+    # (the paper's "negligible memory overhead" claim).
+    assert all(entry["ratio"] < 0.01 for entry in result.data.values())

@@ -1,0 +1,20 @@
+"""Benchmark: Section VI-C — out-of-bound policy design alternatives."""
+
+from repro.experiments import run_sec6c_design_alternatives
+
+from bench_utils import run_and_report
+
+
+def test_sec6c_design_alternatives(benchmark, bench_scale_light):
+    result = run_and_report(benchmark, run_sec6c_design_alternatives,
+                            bench_scale_light, model_name="lenet",
+                            policies=("clip", "zero", "random"))
+    clip = result.data["clip"]
+    zero = result.data["zero"]
+    # All policies reduce the SDC rate relative to the unprotected model...
+    for entry in result.data.values():
+        assert entry["sdc"] <= entry["original_sdc"] + 1e-9
+    # ...but only clipping is guaranteed to preserve fault-free accuracy
+    # (zero-reset is the alternative the paper shows can degrade it).
+    assert clip["accuracy"] >= clip["baseline_accuracy"] - 0.02
+    assert zero["accuracy"] <= clip["accuracy"] + 0.02

@@ -1,0 +1,27 @@
+"""Benchmark: Table I — the model/dataset inventory builds and runs."""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.models import ALL_MODELS, build_model, dataset_for_model
+
+
+def test_table1_model_zoo(benchmark):
+    def build_all():
+        rows = []
+        for name in ALL_MODELS:
+            model = build_model(name)
+            dataset = dataset_for_model(model)
+            x = np.zeros((1,) + tuple(model.config["input_shape"]))
+            output = model.predict(x)
+            rows.append([name, dataset.name, str(model.config["input_shape"]),
+                         model.num_parameters, len(model.graph),
+                         str(output.shape)])
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print()
+    print(render_table(["model", "dataset", "input", "parameters", "nodes",
+                        "output"], rows,
+                       title="Table I — DNN models and datasets"))
+    assert len(rows) == 8

@@ -1,0 +1,19 @@
+"""Benchmark: Table II — fault-free accuracy with and without Ranger."""
+
+from repro.experiments import run_table2_accuracy
+
+from bench_utils import run_and_report
+
+
+def test_table2_accuracy(benchmark, bench_scale):
+    result = run_and_report(benchmark, run_table2_accuracy, bench_scale)
+    for model_name, entry in result.data.items():
+        for metric, before in entry["without"].items():
+            after = entry["with"][metric]
+            if metric in ("top1", "top5"):
+                # Classification accuracy must not drop (it may tick up, as
+                # the paper observes for SqueezeNet).
+                assert after >= before - 0.02
+            else:
+                # Regression error must not grow by more than 5%.
+                assert after <= before * 1.05 + 1e-9

@@ -1,0 +1,12 @@
+"""Benchmark: Table III — time to insert Ranger into each model."""
+
+from repro.experiments import run_table3_insertion_time
+
+from bench_utils import run_and_report
+
+
+def test_table3_insertion_time(benchmark, bench_scale):
+    result = run_and_report(benchmark, run_table3_insertion_time, bench_scale)
+    # The paper reports seconds per model on a laptop; our reduced models
+    # should instrument in well under a second each.
+    assert all(seconds < 5.0 for seconds in result.data.values())

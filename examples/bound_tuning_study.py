@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Restriction-bound tuning study (the paper's Section VI-A).
+
+Sweeps the restriction-bound percentile for the degrees-output Dave model and
+prints the accuracy/resilience trade-off: tighter bounds buy extra SDC
+reduction at a small accuracy cost.  Also demonstrates the out-of-bound
+policy alternatives of Section VI-C on a classifier.
+
+Run with:  python examples/bound_tuning_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import evaluate_accuracy, render_table
+from repro.core import Ranger
+from repro.injection import SingleBitFlip, SteeringDeviation, compare_protection
+from repro.models import prepare_model
+from repro.quantization import FIXED32, fixed32_policy
+
+
+def percentile_sweep() -> None:
+    print("=== Bound-percentile sweep on Dave (degrees output) ===")
+    prepared = prepare_model("dave", epochs=12, learning_rate=3e-3, seed=0,
+                             output_mode="degrees")
+    sample, _ = prepared.dataset.sample_train(100, seed=0)
+    ranger = Ranger()
+    profile = ranger.profile(prepared.model, sample)
+    inputs, _ = prepared.correctly_predicted_inputs(6, seed=1)
+    criteria = [SteeringDeviation(threshold_degrees=t, angle_unit="degrees")
+                for t in (15, 30, 60, 120)]
+
+    rows = []
+    for percentile in (100.0, 99.9, 99.0, 98.0):
+        bounds = profile.select_bounds(percentile)
+        protected, _ = ranger.transform(prepared.model, bounds)
+        base, guarded = compare_protection(
+            prepared.model, protected, inputs,
+            fault_model=SingleBitFlip(FIXED32), criteria=criteria,
+            dtype_policy=fixed32_policy(), trials=200, seed=2)
+        accuracy = evaluate_accuracy(protected, prepared.dataset.x_val,
+                                     prepared.dataset.y_val)
+        avg_sdc = np.mean([guarded.sdc_rate_percent(c.name) for c in criteria])
+        rows.append([f"{percentile:g}%", avg_sdc, accuracy.rmse_degrees,
+                     accuracy.avg_deviation_degrees])
+    baseline = evaluate_accuracy(prepared.model, prepared.dataset.x_val,
+                                 prepared.dataset.y_val)
+    rows.insert(0, ["unprotected",
+                    np.mean([base.sdc_rate_percent(c.name) for c in criteria]),
+                    baseline.rmse_degrees, baseline.avg_deviation_degrees])
+    print(render_table(["bound", "avg SDC %", "RMSE (deg)", "avg dev (deg)"],
+                       rows, precision=2))
+
+
+def policy_alternatives() -> None:
+    print("\n=== Out-of-bound policy alternatives on LeNet (Section VI-C) ===")
+    prepared = prepare_model("lenet", epochs=6, seed=0)
+    sample, _ = prepared.dataset.sample_train(80, seed=0)
+    inputs, _ = prepared.correctly_predicted_inputs(6, seed=1)
+    rows = []
+    for policy in ("clip", "zero", "random"):
+        ranger = Ranger(policy=policy)
+        protected, _ = ranger.protect(prepared.model, profile_inputs=sample)
+        base, guarded = compare_protection(
+            prepared.model, protected, inputs,
+            fault_model=SingleBitFlip(FIXED32), dtype_policy=fixed32_policy(),
+            trials=200, seed=3)
+        accuracy = evaluate_accuracy(protected, prepared.dataset.x_val,
+                                     prepared.dataset.y_val)
+        rows.append([policy, base.sdc_rate_percent("top1"),
+                     guarded.sdc_rate_percent("top1"), accuracy.top1])
+    print(render_table(["policy", "original SDC %", "protected SDC %",
+                        "top-1 accuracy"], rows, precision=3))
+
+
+def main() -> None:
+    percentile_sweep()
+    policy_alternatives()
+
+
+if __name__ == "__main__":
+    main()

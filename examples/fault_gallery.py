@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fault gallery (the paper's Fig. 5): what SDCs look like per task.
+
+For a classifier and a steering model, the script injects single bit flips
+until it finds faults that corrupt the output, then prints a small gallery of
+before/after predictions — misclassified digits for the classifier, deviated
+steering angles for the AV model — and shows that the Ranger-protected graph
+produces the correct output for the very same faults.
+
+Run with:  python examples/fault_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Ranger
+from repro.injection import FaultInjector, SingleBitFlip, TopKMisclassification
+from repro.models import prepare_model
+from repro.quantization import FIXED32
+
+
+def classifier_gallery(entries: int = 3) -> None:
+    print("=== Classifier SDCs (LeNet on synthetic digits) ===")
+    prepared = prepare_model("lenet", epochs=6, seed=0)
+    model = prepared.model
+    ranger = Ranger()
+    sample, _ = prepared.dataset.sample_train(80, seed=0)
+    protected, _ = ranger.protect(model, profile_inputs=sample)
+
+    inputs, labels = prepared.correctly_predicted_inputs(entries, seed=2)
+    injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=5)
+    injector.profile_state_space(inputs[:1])
+    criterion = TopKMisclassification(k=1)
+
+    for i in range(entries):
+        x = inputs[i:i + 1]
+        golden = model.predict(x)
+        # Search for a fault that flips the prediction.
+        for _ in range(500):
+            plan = injector.sample_plan()
+            faulty, specs = injector.inject(model.executor(), x, plan)
+            if criterion.is_sdc(golden, faulty):
+                corrected, _ = injector.inject(protected.executor(), x, plan)
+                spec = specs[0]
+                print(f"  input #{i}: true label {labels[i]}")
+                print(f"    fault: bit {spec.bit} of {spec.node_name} "
+                      f"({spec.original:.2f} -> {spec.corrupted:.2e})")
+                print(f"    prediction  fault-free: {int(golden.argmax())}   "
+                      f"faulty: {int(faulty.argmax())}   "
+                      f"faulty+Ranger: {int(corrected.argmax())}")
+                break
+        else:
+            print(f"  input #{i}: no SDC found in 500 trials "
+                  f"(model is already resilient for this input)")
+
+
+def steering_gallery(entries: int = 3) -> None:
+    print("\n=== Steering-model SDCs (Comma.ai on synthetic driving data) ===")
+    prepared = prepare_model("comma", epochs=8, seed=0)
+    model = prepared.model
+    ranger = Ranger()
+    sample, _ = prepared.dataset.sample_train(80, seed=0)
+    protected, _ = ranger.protect(model, profile_inputs=sample)
+
+    inputs, targets = prepared.correctly_predicted_inputs(entries, seed=2)
+    injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=6)
+    injector.profile_state_space(inputs[:1])
+
+    for i in range(entries):
+        x = inputs[i:i + 1]
+        golden = float(model.predict(x)[0, 0])
+        worst = (None, golden)
+        for _ in range(300):
+            plan = injector.sample_plan()
+            faulty, _ = injector.inject(model.executor(), x, plan)
+            value = float(faulty[0, 0])
+            if abs(value - golden) > abs(worst[1] - golden):
+                worst = (plan, value)
+        corrected = golden
+        if worst[0] is not None:
+            corrected = float(injector.inject(protected.executor(), x,
+                                              worst[0])[0][0, 0])
+        print(f"  frame #{i}: label {float(targets[i]):8.2f} deg | "
+              f"fault-free {golden:8.2f} | worst fault {worst[1]:10.2f} | "
+              f"fault + Ranger {corrected:8.2f}")
+
+
+def main() -> None:
+    classifier_gallery()
+    steering_gallery()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Run the paper's entire evaluation (every reproduced table and figure).
+
+The default scale is the committed benchmark configuration; pass ``--smoke``
+for a seconds-scale sanity run or ``--trials N`` to approach the paper's
+campaign sizes.  The report is printed to stdout and optionally written as
+markdown.
+
+Run with:  python examples/full_evaluation.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentScale,
+    results_to_markdown,
+    run_all_experiments,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run a minutes-scale sanity configuration")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="fault-injection trials per campaign")
+    parser.add_argument("--only", nargs="*", default=None,
+                        choices=sorted(EXPERIMENT_REGISTRY),
+                        help="run only the named experiments")
+    parser.add_argument("--output", default=None,
+                        help="write a markdown report to this path")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    scale = ExperimentScale.smoke() if args.smoke else ExperimentScale()
+    if args.trials is not None:
+        scale.trials = args.trials
+    results = run_all_experiments(scale, only=args.only, verbose=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(results_to_markdown(results))
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

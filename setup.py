@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+fully-offline environments that lack the ``wheel`` package needed by the
+PEP-517 editable-install path (``python setup.py develop`` works with a bare
+setuptools).
+"""
+
+from setuptools import setup
+
+setup()

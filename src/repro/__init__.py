@@ -1,0 +1,21 @@
+"""Ranger reproduction: low-cost fault correction for DNNs via range restriction.
+
+The package layout mirrors the system inventory in ``DESIGN.md``:
+
+* :mod:`repro.graph`, :mod:`repro.ops`, :mod:`repro.nn` — the dataflow-graph
+  substrate (the TensorFlow analogue) with a small training engine.
+* :mod:`repro.quantization` — fixed-point datatypes (32-bit and 16-bit).
+* :mod:`repro.datasets`, :mod:`repro.models` — synthetic datasets and the
+  eight-model zoo of the paper's Table I.
+* :mod:`repro.injection` — the TensorFI-analogue fault injector and SDC
+  campaign runner.
+* :mod:`repro.core` — Ranger itself: activation profiling, restriction-bound
+  selection, and the Algorithm-1 graph transformation.
+* :mod:`repro.baselines` — the comparison techniques of Fig. 8 and Table VI.
+* :mod:`repro.analysis`, :mod:`repro.experiments` — metrics, FLOPs
+  accounting, and one experiment definition per table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

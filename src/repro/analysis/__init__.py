@@ -1,0 +1,35 @@
+"""Metrics, FLOPs accounting and plain-text reporting."""
+
+from .flops import FlopsReport, count_flops, protection_overhead
+from .metrics import (
+    AccuracyReport,
+    average_deviation,
+    evaluate_accuracy,
+    rmse,
+    top_k_accuracy,
+)
+from .reporting import (
+    format_cell,
+    reduction_factor,
+    relative_reduction_percent,
+    render_comparison,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "FlopsReport",
+    "average_deviation",
+    "count_flops",
+    "evaluate_accuracy",
+    "format_cell",
+    "protection_overhead",
+    "reduction_factor",
+    "relative_reduction_percent",
+    "render_comparison",
+    "render_series",
+    "render_table",
+    "rmse",
+    "top_k_accuracy",
+]

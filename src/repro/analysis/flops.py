@@ -1,0 +1,105 @@
+"""FLOPs accounting (Table IV: computation overhead of Ranger).
+
+The paper measures Ranger's runtime cost in floating-point operations because
+FLOPs are platform-independent.  The counter here runs one forward pass,
+records every node's input/output shapes, and sums each operator's
+self-reported FLOPs estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph import Executor, Node
+from ..models.base import Model
+
+
+@dataclass
+class FlopsReport:
+    """FLOPs of one model, broken down by node."""
+
+    model_name: str
+    per_node: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.per_node.values()))
+
+    def total_for_categories(self, categories) -> int:
+        """Total FLOPs of nodes whose category is in ``categories`` — needs
+        the graph to resolve categories, so use :func:`count_flops`'s
+        ``category_totals`` instead for new code."""
+        raise NotImplementedError(
+            "use count_flops(...).category_totals for per-category totals")
+
+    def overhead_relative_to(self, baseline: "FlopsReport") -> float:
+        """Fractional FLOPs overhead of this model over ``baseline``."""
+        if baseline.total == 0:
+            raise ValueError("baseline model reports zero FLOPs")
+        return (self.total - baseline.total) / baseline.total
+
+
+def count_flops(model: Model, sample_input: Optional[np.ndarray] = None,
+                batch_size: int = 1) -> FlopsReport:
+    """Count FLOPs for one inference of ``model``.
+
+    ``sample_input`` defaults to a zero batch matching the model's configured
+    input shape.
+    """
+    if sample_input is None:
+        input_shape = model.config.get("input_shape")
+        if input_shape is None:
+            raise ValueError("model config lacks input_shape; pass sample_input")
+        sample_input = np.zeros((batch_size,) + tuple(input_shape))
+
+    shapes: Dict[str, Tuple[int, ...]] = {}
+    per_node: Dict[str, int] = {}
+    executor = model.executor()
+
+    def observer(node: Node, output: np.ndarray) -> None:
+        shapes[node.name] = tuple(np.asarray(output).shape)
+
+    executor.add_observer(observer)
+    try:
+        executor.run({model.input_name: sample_input},
+                     outputs=[model.output_name])
+    finally:
+        executor.remove_observer(observer)
+
+    for node in model.graph:
+        if node.category in ("input", "variable"):
+            continue
+        input_shapes = []
+        for name in node.inputs:
+            if name in shapes:
+                input_shapes.append(shapes[name])
+            else:
+                # Fall back to the stored value shape for variables/constants
+                # that were not observed (e.g. when hooks filtered them out).
+                value = getattr(model.graph.node(name).op, "value", None)
+                input_shapes.append(tuple(np.shape(value)))
+        output_shape = shapes.get(node.name, ())
+        per_node[node.name] = int(node.op.flops(input_shapes, output_shape))
+
+    return FlopsReport(model_name=model.name, per_node=per_node)
+
+
+def protection_overhead(unprotected: Model, protected: Model,
+                        sample_input: Optional[np.ndarray] = None
+                        ) -> Dict[str, float]:
+    """FLOPs overhead of a protection transform (Table IV row).
+
+    Returns a dict with the baseline FLOPs, protected FLOPs and the relative
+    overhead.
+    """
+    base = count_flops(unprotected, sample_input)
+    guarded = count_flops(protected, sample_input)
+    return {
+        "model": unprotected.name,
+        "flops_without": float(base.total),
+        "flops_with": float(guarded.total),
+        "overhead": guarded.overhead_relative_to(base),
+    }

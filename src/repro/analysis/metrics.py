@@ -1,0 +1,103 @@
+"""Accuracy and deviation metrics used by the evaluation (Table II, Table V).
+
+* Classifiers: top-1 / top-5 accuracy.
+* Steering models: RMSE and average absolute deviation per frame, in degrees
+  (the metrics the paper reports for Dave and Comma.ai).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.driving import degrees_from_output
+from ..models.base import Model
+
+
+def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray,
+                   k: int = 1) -> float:
+    """Fraction of rows whose true label is within the top-k predictions."""
+    probabilities = np.asarray(probabilities)
+    labels = np.asarray(labels).astype(int).reshape(-1)
+    if probabilities.ndim != 2:
+        raise ValueError(f"expected 2-D probabilities, got {probabilities.shape}")
+    if k < 1 or k > probabilities.shape[1]:
+        raise ValueError(f"k={k} out of range for {probabilities.shape[1]} classes")
+    top_k = np.argsort(probabilities, axis=1)[:, ::-1][:, :k]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared error."""
+    predictions = np.asarray(predictions).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    return float(np.sqrt(np.mean((predictions - targets) ** 2)))
+
+
+def average_deviation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute deviation per frame."""
+    predictions = np.asarray(predictions).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+@dataclass
+class AccuracyReport:
+    """Fault-free accuracy of one model on one evaluation set."""
+
+    model_name: str
+    task: str
+    top1: Optional[float] = None
+    top5: Optional[float] = None
+    rmse_degrees: Optional[float] = None
+    avg_deviation_degrees: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        if self.top1 is not None:
+            out["top1"] = self.top1
+        if self.top5 is not None:
+            out["top5"] = self.top5
+        if self.rmse_degrees is not None:
+            out["rmse"] = self.rmse_degrees
+        if self.avg_deviation_degrees is not None:
+            out["avg_deviation"] = self.avg_deviation_degrees
+        return out
+
+    def matches(self, other: "AccuracyReport", atol: float = 1e-9) -> bool:
+        """True when two reports are numerically identical (Table II check)."""
+        mine, theirs = self.as_dict(), other.as_dict()
+        if mine.keys() != theirs.keys():
+            return False
+        return all(abs(mine[k] - theirs[k]) <= atol for k in mine)
+
+
+def evaluate_accuracy(model: Model, inputs: np.ndarray, targets: np.ndarray,
+                      batch_size: int = 64, top5: bool = True,
+                      ) -> AccuracyReport:
+    """Evaluate fault-free accuracy of a model on an evaluation split."""
+    predictions = []
+    executor = model.executor()
+    for start in range(0, len(inputs), batch_size):
+        batch = inputs[start:start + batch_size]
+        predictions.append(model.predict(batch, executor=executor))
+    outputs = np.concatenate(predictions, axis=0)
+
+    if model.is_classifier:
+        num_classes = outputs.shape[1]
+        report = AccuracyReport(model_name=model.name, task=model.task,
+                                top1=top_k_accuracy(outputs, targets, k=1))
+        if top5 and num_classes >= 5:
+            report.top5 = top_k_accuracy(outputs, targets, k=5)
+        return report
+
+    unit = model.angle_unit or "degrees"
+    predicted_degrees = degrees_from_output(outputs, unit)
+    target_degrees = degrees_from_output(targets, unit)
+    return AccuracyReport(model_name=model.name, task=model.task,
+                          rmse_degrees=rmse(predicted_degrees, target_degrees),
+                          avg_deviation_degrees=average_deviation(
+                              predicted_degrees, target_degrees))

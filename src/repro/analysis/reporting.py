@@ -1,0 +1,79 @@
+"""Plain-text tables and series for the experiment harness.
+
+Every benchmark prints its result in the same row/column structure as the
+corresponding paper table or figure, so paper-vs-measured comparisons (in
+``EXPERIMENTS.md``) can be made line by line.  Only the standard library and
+numpy are used — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_cell(value, precision: int = 2) -> str:
+    """Render one table cell."""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, Sequence[Number]],
+                  x_labels: Sequence, title: Optional[str] = None,
+                  precision: int = 3) -> str:
+    """Render named series (one per row) against shared x labels.
+
+    Used for figure-style results (e.g. SDC rate vs. bit count, range
+    convergence vs. data fraction).
+    """
+    headers = ["series"] + [format_cell(x, precision) for x in x_labels]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + list(values))
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_comparison(title: str, labels: Sequence[str],
+                      original: Sequence[Number], protected: Sequence[Number],
+                      original_name: str = "original",
+                      protected_name: str = "ranger",
+                      precision: int = 2) -> str:
+    """Two-row comparison table (the original-vs-Ranger bar charts)."""
+    return render_series({original_name: original, protected_name: protected},
+                         labels, title=title, precision=precision)
+
+
+def reduction_factor(before: float, after: float) -> float:
+    """The paper's "Nx reduction" headline number (before / after)."""
+    if after <= 0:
+        return float("inf") if before > 0 else 1.0
+    return before / after
+
+
+def relative_reduction_percent(before: float, after: float) -> float:
+    """Relative SDC reduction in percent, as reported in Fig. 8."""
+    if before <= 0:
+        return 0.0
+    return 100.0 * (before - after) / before

@@ -1,0 +1,32 @@
+"""Comparison techniques: Hong et al., redundancy, detectors, ML corrector."""
+
+from .comparison import (
+    ComparisonConfig,
+    TechniqueComparison,
+    TechniqueResult,
+)
+from .detectors import ABFTConvChecksum, SymptomDetector
+from .hong import prepare_activation_variant, prepare_tanh_variant
+from .ml_corrector import (
+    FeatureExtractor,
+    LogisticClassifier,
+    MLErrorCorrector,
+    train_ml_corrector,
+)
+from .redundancy import ModularRedundancy, SelectiveDuplication
+
+__all__ = [
+    "ABFTConvChecksum",
+    "ComparisonConfig",
+    "FeatureExtractor",
+    "LogisticClassifier",
+    "MLErrorCorrector",
+    "ModularRedundancy",
+    "SelectiveDuplication",
+    "SymptomDetector",
+    "TechniqueComparison",
+    "TechniqueResult",
+    "prepare_activation_variant",
+    "prepare_tanh_variant",
+    "train_ml_corrector",
+]

@@ -1,0 +1,240 @@
+"""Table VI harness: SDC coverage vs. overhead for every protection technique.
+
+For a common set of fault-injection trials on one model, the harness measures
+
+* **SDC coverage** — of the faults that cause an SDC on the unprotected
+  model, the fraction the technique corrects (Ranger, TMR) or detects
+  (duplication, symptom detector, ABFT, ML corrector — detection implies
+  recovery by re-execution under the paper's accounting), and
+* **overhead** — the technique's computational overhead relative to one
+  unprotected inference.
+
+This reproduces the structure of the paper's Table VI; absolute numbers
+differ (different models/weights/trial counts) but the ordering — Ranger
+achieving near-TMR coverage at near-zero overhead — is the result to check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.flops import protection_overhead
+from ..core.ranger import Ranger
+from ..injection.campaign import FaultInjectionCampaign
+from ..injection.fault_models import FaultModel, SingleBitFlip
+from ..injection.injector import FaultInjector
+from ..injection.sdc import SDCCriterion, criteria_for_model
+from ..models.zoo import PreparedModel
+from .detectors import ABFTConvChecksum, SymptomDetector
+from .ml_corrector import MLErrorCorrector, train_ml_corrector
+from .redundancy import ModularRedundancy, SelectiveDuplication
+
+
+@dataclass
+class TechniqueResult:
+    """One row of the comparison table."""
+
+    technique: str
+    sdc_coverage: float
+    overhead: float
+    notes: str = ""
+
+    def as_row(self) -> List:
+        return [self.technique, 100.0 * self.sdc_coverage,
+                100.0 * self.overhead, self.notes]
+
+
+@dataclass
+class ComparisonConfig:
+    """Knobs for the Table VI harness."""
+
+    trials: int = 200
+    ml_training_trials: int = 120
+    duplication_fraction: float = 0.3
+    symptom_margin: float = 1.0
+    ranger_percentile: float = 100.0
+    seed: int = 0
+
+
+class TechniqueComparison:
+    """Evaluates every protection technique on one prepared model."""
+
+    def __init__(self, prepared: PreparedModel, inputs: np.ndarray,
+                 fault_model: Optional[FaultModel] = None,
+                 criterion: Optional[SDCCriterion] = None,
+                 config: Optional[ComparisonConfig] = None) -> None:
+        self.prepared = prepared
+        self.model = prepared.model
+        self.inputs = np.asarray(inputs)
+        self.fault_model = fault_model or SingleBitFlip()
+        self.criterion = criterion or criteria_for_model(self.model)[0]
+        self.config = config or ComparisonConfig()
+        self.injector = FaultInjector(self.model, self.fault_model,
+                                      seed=self.config.seed)
+        self._executor = self.model.executor()
+        self.site_sizes = self.injector.profile_state_space(self.inputs[:1],
+                                                            self._executor)
+        self._golden = [
+            self._executor.run({self.model.input_name: self.inputs[i:i + 1]},
+                               outputs=[self.model.output_name]
+                               ).output(self.model.output_name)
+            for i in range(len(self.inputs))
+        ]
+
+    # -- shared trial material ------------------------------------------------------
+
+    def _sample_trials(self, count: int, seed_offset: int = 1):
+        rng = np.random.default_rng(self.config.seed + seed_offset)
+        return [(int(rng.integers(len(self.inputs))),
+                 self.injector.sample_plan()) for _ in range(count)]
+
+    def _run_trials(self, trials):
+        """Run trials on the unprotected model, keeping full value traces."""
+        records = []
+        for input_index, plan in trials:
+            batch = self.inputs[input_index:input_index + 1]
+            result, faults = self.injector.inject_full(self._executor, batch,
+                                                       plan)
+            faulty = result.output(self.model.output_name)
+            is_sdc = self.criterion.is_sdc(self._golden[input_index], faulty)
+            records.append({"input_index": input_index, "plan": plan,
+                            "run": result, "faults": faults,
+                            "is_sdc": is_sdc})
+        return records
+
+    # -- technique evaluations ---------------------------------------------------------
+
+    def run(self, include_hong: Optional[PreparedModel] = None
+            ) -> List[TechniqueResult]:
+        """Run the full comparison; returns one result per technique."""
+        cfg = self.config
+        trials = self._sample_trials(cfg.trials)
+        records = self._run_trials(trials)
+        sdc_records = [r for r in records if r["is_sdc"]]
+        results: List[TechniqueResult] = []
+
+        # --- Triple modular redundancy -------------------------------------------
+        tmr = ModularRedundancy(self.model, replicas=3)
+        results.append(TechniqueResult(
+            technique="tmr", sdc_coverage=1.0 if tmr.coverage_is_exact() else 0.0,
+            overhead=tmr.overhead_fraction(),
+            notes="majority vote over 3 replicas"))
+
+        # --- Selective duplication -------------------------------------------------
+        duplication = SelectiveDuplication(
+            self.model, duplication_fraction=cfg.duplication_fraction)
+        duplication.select_protected_nodes(self.site_sizes)
+        covered = sum(1 for r in sdc_records
+                      if duplication.detects(r["faults"]))
+        results.append(TechniqueResult(
+            technique="selective_duplication",
+            sdc_coverage=covered / len(sdc_records) if sdc_records else 0.0,
+            overhead=duplication.overhead_fraction(),
+            notes=f"duplicates {cfg.duplication_fraction:.0%} of state space"))
+
+        # --- Symptom-based detector -----------------------------------------------
+        ranger_for_bounds = Ranger(percentile=cfg.ranger_percentile,
+                                   seed=cfg.seed)
+        profile = ranger_for_bounds.profile(
+            self.model, self.prepared.dataset.x_train, batch_size=32)
+        bounds = ranger_for_bounds.select_bounds(profile)
+        symptom = SymptomDetector(bounds=bounds, margin=cfg.symptom_margin)
+        detected = sum(1 for r in sdc_records if symptom.detects(r["run"]))
+        detection_rate = (sum(1 for r in records if symptom.detects(r["run"]))
+                          / len(records)) if records else 0.0
+        results.append(TechniqueResult(
+            technique="symptom_detector",
+            sdc_coverage=detected / len(sdc_records) if sdc_records else 0.0,
+            overhead=symptom.overhead_fraction(self.model, detection_rate),
+            notes="re-executes on detection"))
+
+        # --- ABFT conv checksums -----------------------------------------------------
+        abft = ABFTConvChecksum(self.model)
+        detected = sum(1 for r in sdc_records if abft.detects(r["run"]))
+        results.append(TechniqueResult(
+            technique="abft_conv",
+            sdc_coverage=detected / len(sdc_records) if sdc_records else 0.0,
+            overhead=abft.overhead_fraction(),
+            notes="checksums cover convolution outputs only"))
+
+        # --- ML-based corrector -------------------------------------------------------
+        training_trials = self._sample_trials(cfg.ml_training_trials,
+                                              seed_offset=7)
+        training_records = self._run_trials(training_trials)
+        labelled = [(r["run"], r["is_sdc"]) for r in training_records]
+        has_both = (any(r["is_sdc"] for r in training_records)
+                    and any(not r["is_sdc"] for r in training_records))
+        if has_both:
+            corrector = train_ml_corrector(self.model, labelled, seed=cfg.seed)
+            detected = sum(1 for r in sdc_records if corrector.detects(r["run"]))
+            detect_all = (sum(1 for r in records if corrector.detects(r["run"]))
+                          / len(records)) if records else 0.0
+            results.append(TechniqueResult(
+                technique="ml_corrector",
+                sdc_coverage=detected / len(sdc_records) if sdc_records else 0.0,
+                overhead=corrector.overhead_fraction() + detect_all,
+                notes="logistic detector trained on FI data"))
+        else:
+            results.append(TechniqueResult(
+                technique="ml_corrector", sdc_coverage=0.0, overhead=0.01,
+                notes="insufficient SDC examples to train"))
+
+        # --- Hong et al. (Tanh variant) -----------------------------------------------
+        if include_hong is not None:
+            hong_result = self._evaluate_retrained_variant(include_hong)
+            results.append(hong_result)
+
+        # --- Ranger -----------------------------------------------------------------------
+        protected, info = ranger_for_bounds.transform(self.model, bounds)
+        corrected = 0
+        protected_executor = protected.executor()
+        protected_injector = FaultInjector(protected, self.fault_model,
+                                           seed=cfg.seed)
+        protected_injector._site_sizes = dict(self.injector._site_sizes)
+        for record in sdc_records:
+            batch = self.inputs[record["input_index"]:record["input_index"] + 1]
+            faulty, _ = protected_injector.inject(protected_executor, batch,
+                                                  record["plan"])
+            if not self.criterion.is_sdc(self._golden[record["input_index"]],
+                                         faulty):
+                corrected += 1
+        overhead = protection_overhead(self.model, protected)["overhead"]
+        results.append(TechniqueResult(
+            technique="ranger",
+            sdc_coverage=corrected / len(sdc_records) if sdc_records else 1.0,
+            overhead=overhead,
+            notes=f"{info.num_inserted} restriction ops inserted"))
+
+        return results
+
+    def _evaluate_retrained_variant(self, variant: PreparedModel
+                                    ) -> TechniqueResult:
+        """Coverage of an architecture-level defense (Hong et al.).
+
+        The variant has different weights, so trials cannot be replayed;
+        instead the relative SDC-rate reduction between the two models under
+        matched campaigns is reported as coverage (the paper does the same in
+        Fig. 8 / Table VI footnote 2).
+        """
+        cfg = self.config
+        base_campaign = FaultInjectionCampaign(
+            self.model, self.inputs, fault_model=self.fault_model,
+            criteria=[self.criterion], seed=cfg.seed)
+        variant_inputs, _ = variant.correctly_predicted_inputs(
+            len(self.inputs), seed=cfg.seed)
+        variant_campaign = FaultInjectionCampaign(
+            variant.model, variant_inputs, fault_model=self.fault_model,
+            criteria=criteria_for_model(variant.model)[:1], seed=cfg.seed)
+        base = base_campaign.run(trials=cfg.trials)
+        swapped = variant_campaign.run(trials=cfg.trials)
+        base_rate = base.sdc_rate(self.criterion.name)
+        swapped_rate = swapped.sdc_rate(variant_campaign.criteria[0].name)
+        coverage = 0.0
+        if base_rate > 0:
+            coverage = max(0.0, (base_rate - swapped_rate) / base_rate)
+        return TechniqueResult(technique="hong_tanh", sdc_coverage=coverage,
+                               overhead=0.0,
+                               notes="architecture change, no runtime cost")

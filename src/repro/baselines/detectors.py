@@ -1,0 +1,154 @@
+"""Detection-based baselines: symptom detector and ABFT conv checksums.
+
+* :class:`SymptomDetector` — Li et al.'s approach: unusual (out-of-range)
+  activation values are treated as symptoms of a fault; detection triggers a
+  re-execution to recover the output.  Coverage is high but the re-execution
+  makes the worst-case overhead large, and an aggressive threshold produces
+  false positives (the >30% false-positive rate the paper cites).
+* :class:`ABFTConvChecksum` — algorithm-based fault tolerance for
+  convolutional layers: the channel-sum of a convolution's output can be
+  recomputed independently with a single summed kernel; any single-value
+  corruption of the conv output breaks the equality.  Coverage is limited to
+  faults that strike convolution outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..analysis.flops import count_flops
+from ..core.bounds import RestrictionBounds
+from ..graph import ExecutionResult
+from ..injection.fault_models import FaultSpec
+from ..models.base import Model
+from ..ops.conv import Conv2D
+
+
+@dataclass
+class SymptomDetector:
+    """Out-of-range activation values as fault symptoms (Li et al.).
+
+    Parameters
+    ----------
+    bounds:
+        Per-activation-node value ranges learned from fault-free profiling
+        (the same kind of profile Ranger uses).
+    margin:
+        Multiplicative slack applied to the upper bounds: a value is a
+        symptom only if it exceeds ``high * margin``.  ``margin < 1`` makes
+        the detector aggressive (more coverage, more false positives).
+    """
+
+    bounds: RestrictionBounds
+    margin: float = 1.0
+
+    def check(self, values: Mapping[str, np.ndarray]) -> bool:
+        """True when any monitored node's output contains a symptom."""
+        for name, (low, high) in self.bounds.items():
+            if name not in values:
+                continue
+            out = np.asarray(values[name])
+            slack = (abs(high) + 1e-12) * (self.margin - 1.0)
+            if np.any(out > high + slack) or np.any(out < low - slack):
+                return True
+        return False
+
+    def detects(self, faulty_run: ExecutionResult) -> bool:
+        return self.check(faulty_run.values)
+
+    def false_positive_rate(self, model: Model, inputs: np.ndarray,
+                            batch_size: int = 32) -> float:
+        """Fraction of fault-free inputs flagged as faulty."""
+        executor = model.executor()
+        flagged = 0
+        for start in range(0, len(inputs), batch_size):
+            batch = inputs[start:start + batch_size]
+            for i in range(len(batch)):
+                result = executor.run({model.input_name: batch[i:i + 1]},
+                                      outputs=[model.output_name])
+                if self.check(result.values):
+                    flagged += 1
+        return flagged / max(len(inputs), 1)
+
+    def overhead_fraction(self, model: Model,
+                          detection_rate: float = 0.0) -> float:
+        """Expected overhead: range checks plus re-execution when triggered.
+
+        ``detection_rate`` is the probability that an inference triggers a
+        re-execution (detections plus false positives); the re-execution
+        costs a full extra inference.
+        """
+        flops = count_flops(model)
+        checked_elements = 0
+        for node in model.graph:
+            if node.name in self.bounds.bounds:
+                checked_elements += flops.per_node.get(node.name, 0)
+        check_cost = 2.0 * checked_elements  # two comparisons per element
+        return check_cost / max(flops.total, 1) + detection_rate
+
+
+@dataclass
+class ABFTConvChecksum:
+    """Channel-sum checksums over convolution outputs.
+
+    For ``y = conv(x, K)`` (no bias), summing y over its output channels
+    equals convolving ``x`` with the kernel summed over output channels.  The
+    checker recomputes that single-channel convolution and compares; a
+    corrupted value in the stored conv output breaks the equality.
+    """
+
+    model: Model
+    tolerance: float = 1e-3
+
+    def __post_init__(self) -> None:
+        self._conv_nodes: Dict[str, Tuple[str, str, Conv2D]] = {}
+        for node in self.model.graph:
+            if isinstance(node.op, Conv2D):
+                x_name, kernel_name = node.inputs
+                self._conv_nodes[node.name] = (x_name, kernel_name, node.op)
+
+    @property
+    def protected_nodes(self) -> Set[str]:
+        return set(self._conv_nodes)
+
+    def detects(self, faulty_run: ExecutionResult,
+                faults: Sequence[FaultSpec] = ()) -> bool:
+        """Verify every conv node's channel-sum checksum on a faulty run."""
+        values = faulty_run.values
+        for conv_name, (x_name, kernel_name, op) in self._conv_nodes.items():
+            if conv_name not in values:
+                continue
+            output = values[conv_name]
+            x = values[x_name]
+            kernel = values[kernel_name]
+            summed_kernel = kernel.sum(axis=3, keepdims=True)
+            expected = op.forward(x, summed_kernel)[..., 0]
+            actual = output.sum(axis=3)
+            scale = np.maximum(np.abs(expected), 1.0)
+            if np.any(np.abs(expected - actual) > self.tolerance * scale):
+                return True
+        return False
+
+    def overhead_fraction(self) -> float:
+        """FLOPs overhead of the checksum convolutions.
+
+        Each checksum is a convolution with a single output channel, so its
+        cost is ``1 / out_channels`` of the original convolution.
+        """
+        flops = count_flops(self.model)
+        overhead = 0.0
+        for conv_name, (_, kernel_name, _) in self._conv_nodes.items():
+            kernel = self.model.graph.node(kernel_name).op.value
+            out_channels = kernel.shape[3]
+            overhead += flops.per_node.get(conv_name, 0) / max(out_channels, 1)
+        return overhead / max(flops.total, 1)
+
+    def coverage_upper_bound(self, site_sizes: Mapping[str, int]) -> float:
+        """Fraction of the injectable state space that lies in conv outputs."""
+        total = sum(site_sizes.values())
+        covered = sum(size for name, size in site_sizes.items()
+                      if name in self._conv_nodes)
+        return covered / total if total else 0.0

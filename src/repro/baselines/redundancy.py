@@ -1,0 +1,138 @@
+"""Redundancy-based protection: full modular redundancy and selective
+duplication.
+
+* :class:`ModularRedundancy` — classic DMR/TMR at the whole-inference level.
+  With three replicas and at most one fault per execution (the paper's fault
+  model) the majority vote always recovers the fault-free output, at ~200%
+  computational overhead.
+* :class:`SelectiveDuplication` — the HarDNN-style approach (Mahmoud et al.):
+  duplicate only the most fault-vulnerable portion of the computation and
+  compare; a mismatch detects the fault (correction then requires
+  re-execution).  Coverage is bounded by the fraction of the state space that
+  is duplicated, which is how the paper's Table VI arrives at ~60% coverage
+  for ~30% overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..analysis.flops import count_flops
+from ..graph import Executor
+from ..injection.fault_models import FaultSpec
+from ..injection.injector import FaultInjector, InjectionPlan
+from ..models.base import Model
+
+
+class ModularRedundancy:
+    """N-modular redundancy over whole inferences with element-wise voting."""
+
+    def __init__(self, model: Model, replicas: int = 3) -> None:
+        if replicas < 2:
+            raise ValueError(f"redundancy needs at least 2 replicas, got {replicas}")
+        self.model = model
+        self.replicas = replicas
+
+    def predict_under_fault(self, injector: FaultInjector, inputs: np.ndarray,
+                            plan: Optional[InjectionPlan] = None,
+                            executor: Optional[Executor] = None
+                            ) -> Tuple[np.ndarray, List[FaultSpec]]:
+        """Run one faulty replica and ``replicas - 1`` clean replicas, vote.
+
+        Under the single-fault-per-execution model only one replica is
+        corrupted, so the element-wise median recovers the clean output for
+        any odd replica count >= 3; for DMR (2 replicas) the mismatch is
+        detectable but not correctable, and this method returns the mean to
+        reflect that ambiguity.
+        """
+        ex = executor or self.model.executor()
+        faulty, faults = injector.inject(ex, inputs, plan)
+        outputs = [faulty]
+        for _ in range(self.replicas - 1):
+            result = ex.run({self.model.input_name: inputs},
+                            outputs=[self.model.output_name])
+            outputs.append(result.output(self.model.output_name))
+        stacked = np.stack(outputs, axis=0)
+        if self.replicas >= 3:
+            voted = np.median(stacked, axis=0)
+        else:
+            voted = np.mean(stacked, axis=0)
+        return voted, faults
+
+    def overhead_fraction(self) -> float:
+        """Computational overhead relative to one unprotected inference."""
+        return float(self.replicas - 1)
+
+    def coverage_is_exact(self) -> bool:
+        """Whether voting always recovers the output under single faults."""
+        return self.replicas >= 3
+
+
+@dataclass
+class SelectiveDuplication:
+    """Duplicate-and-compare on the most vulnerable fraction of the network.
+
+    Parameters
+    ----------
+    model:
+        The model to protect.
+    duplication_fraction:
+        Fraction of the injectable state space (by element count, largest
+        tensors first — a proxy for the FI-derived vulnerability ranking of
+        HarDNN) whose computation is duplicated.
+    """
+
+    model: Model
+    duplication_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duplication_fraction <= 1.0:
+            raise ValueError("duplication_fraction must be in (0, 1]")
+        self._protected: Optional[Set[str]] = None
+
+    def select_protected_nodes(self, site_sizes: Dict[str, int]) -> Set[str]:
+        """Choose which nodes to duplicate from the state-space profile.
+
+        Nodes are added in decreasing order of their per-element FLOPs weight
+        (convolutions first — they dominate both vulnerability and cost in
+        HarDNN's ranking) until the duplicated share of the state space
+        reaches ``duplication_fraction``.
+        """
+        flops = count_flops(self.model).per_node
+        order = sorted(site_sizes,
+                       key=lambda name: flops.get(name, 0) / max(site_sizes[name], 1),
+                       reverse=True)
+        total = sum(site_sizes.values())
+        budget = self.duplication_fraction * total
+        protected: Set[str] = set()
+        covered = 0
+        for name in order:
+            if covered >= budget:
+                break
+            protected.add(name)
+            covered += site_sizes[name]
+        self._protected = protected
+        return protected
+
+    def detects(self, faults: Sequence[FaultSpec]) -> bool:
+        """Whether duplicate-and-compare flags this fault event.
+
+        A duplicated computation recomputes the node's output and compares; a
+        corrupted value in a duplicated node always mismatches, so detection
+        reduces to whether the fault landed in a protected node.
+        """
+        if self._protected is None:
+            raise RuntimeError("call select_protected_nodes() first")
+        return any(fault.node_name in self._protected for fault in faults)
+
+    def overhead_fraction(self) -> float:
+        """FLOPs overhead: the share of compute that is executed twice."""
+        if self._protected is None:
+            raise RuntimeError("call select_protected_nodes() first")
+        flops = count_flops(self.model).per_node
+        total = sum(flops.values())
+        duplicated = sum(flops.get(name, 0) for name in self._protected)
+        return duplicated / total if total else 0.0

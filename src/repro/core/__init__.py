@@ -1,0 +1,39 @@
+"""Ranger: selective range restriction for low-cost fault correction."""
+
+from .bounds import LayerObservation, RestrictionBounds
+from .policies import (
+    ClipToBound,
+    POLICY_REGISTRY,
+    RangeRestrictionOp,
+    ReplaceWithRandom,
+    ResetToZero,
+    make_restriction_op,
+)
+from .profiler import ActivationProfiler, BoundsProfile
+from .ranger import ProtectionInfo, Ranger, protect_model
+from .transform import (
+    EXTENDABLE_CATEGORIES,
+    RangerTransform,
+    TransformReport,
+    apply_ranger,
+)
+
+__all__ = [
+    "ActivationProfiler",
+    "BoundsProfile",
+    "ClipToBound",
+    "EXTENDABLE_CATEGORIES",
+    "LayerObservation",
+    "POLICY_REGISTRY",
+    "ProtectionInfo",
+    "RangeRestrictionOp",
+    "Ranger",
+    "RangerTransform",
+    "ReplaceWithRandom",
+    "ResetToZero",
+    "RestrictionBounds",
+    "TransformReport",
+    "apply_ranger",
+    "make_restriction_op",
+    "protect_model",
+]

@@ -1,0 +1,142 @@
+"""Restriction bounds: the per-layer value ranges Ranger enforces.
+
+Bounds are derived in two ways (paper, Section III-C, Step 1):
+
+* **Inherently bounded activations** (Tanh, Sigmoid, Atan) use the function's
+  own range — no profiling needed.
+* **Unbounded activations** (ReLU, ELU, ...) are profiled over a sample of
+  the training data; the restriction bound is then chosen from the observed
+  value distribution.  The paper's default is the observed maximum (the
+  "100th percentile"), and Section VI-A studies tighter percentiles (99.9%,
+  99%, 98%) that trade a little accuracy for extra resilience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LayerObservation:
+    """Streaming statistics of one activation layer's output values.
+
+    Keeps exact minimum / maximum plus a bounded reservoir sample of observed
+    values so percentile bounds can be computed without storing every
+    activation of every profiling input.
+    """
+
+    node_name: str
+    reservoir_size: int = 4096
+    count: int = 0
+    min_value: float = np.inf
+    max_value: float = -np.inf
+    _reservoir: np.ndarray = field(default_factory=lambda: np.empty(0))
+    _rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(1234))
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one batch of activation values into the statistics."""
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            return
+        self.min_value = float(min(self.min_value, flat.min()))
+        self.max_value = float(max(self.max_value, flat.max()))
+        self.count += int(flat.size)
+        # Reservoir update: keep a uniform subsample across everything seen.
+        if self._reservoir.size < self.reservoir_size:
+            take = min(self.reservoir_size - self._reservoir.size, flat.size)
+            picked = self._rng.choice(flat, size=take, replace=False)
+            self._reservoir = np.concatenate([self._reservoir, picked])
+            flat = flat[take:] if take < flat.size else np.empty(0)
+        if flat.size:
+            # Each remaining value replaces a reservoir slot with probability
+            # reservoir_size / count (approximate streaming reservoir).
+            accept = self._rng.random(flat.size) < (self.reservoir_size
+                                                    / max(self.count, 1))
+            replacements = flat[accept]
+            if replacements.size:
+                slots = self._rng.integers(0, self.reservoir_size,
+                                           size=replacements.size)
+                self._reservoir[slots] = replacements
+
+    def percentile_bound(self, percentile: float) -> float:
+        """Upper bound at the given percentile of the observed distribution.
+
+        ``percentile=100`` returns the exact observed maximum (the paper's
+        conservative default); lower percentiles are computed from the
+        reservoir sample.
+        """
+        if self.count == 0:
+            raise ValueError(f"no observations recorded for '{self.node_name}'")
+        if percentile >= 100.0:
+            return self.max_value
+        if self._reservoir.size == 0:
+            return self.max_value
+        return float(np.percentile(self._reservoir, percentile))
+
+    def lower_bound(self) -> float:
+        """Observed minimum (most activations are ReLU-like, so usually 0)."""
+        if self.count == 0:
+            raise ValueError(f"no observations recorded for '{self.node_name}'")
+        return self.min_value
+
+
+@dataclass(frozen=True)
+class RestrictionBounds:
+    """The concrete (low, high) restriction bound for every protected layer.
+
+    ``bounds`` maps activation node names to ``(low, high)`` pairs; this is
+    the object Algorithm 1 consumes.
+    """
+
+    bounds: Dict[str, Tuple[float, float]]
+    percentile: float = 100.0
+
+    def __post_init__(self) -> None:
+        for name, (low, high) in self.bounds.items():
+            if low > high:
+                raise ValueError(
+                    f"bound for '{name}' has low ({low}) > high ({high})")
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self.bounds
+
+    def __getitem__(self, node_name: str) -> Tuple[float, float]:
+        return self.bounds[node_name]
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def items(self):
+        return self.bounds.items()
+
+    def get(self, node_name: str, default=None):
+        return self.bounds.get(node_name, default)
+
+    def merged(self, names) -> Tuple[float, float]:
+        """The merged bound for a concatenation of several protected streams:
+        ``(min of lows, max of highs)`` — Algorithm 1, line 8."""
+        lows, highs = zip(*(self.bounds[name] for name in names))
+        return min(lows), max(highs)
+
+    def scaled(self, factor: float) -> "RestrictionBounds":
+        """Bounds with every upper limit multiplied by ``factor`` (ablations)."""
+        return RestrictionBounds(
+            bounds={name: (low, high * factor)
+                    for name, (low, high) in self.bounds.items()},
+            percentile=self.percentile)
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-serializable form (e.g. to ship bounds with a deployed model)."""
+        return {name: {"low": low, "high": high}
+                for name, (low, high) in self.bounds.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, float]],
+                  percentile: float = 100.0) -> "RestrictionBounds":
+        return cls(bounds={name: (float(v["low"]), float(v["high"]))
+                           for name, v in data.items()},
+                   percentile=percentile)

@@ -1,0 +1,165 @@
+"""Activation profiler: derives restriction bounds from training data.
+
+The profiler runs the (fault-free) model over a sample of the training set —
+the paper samples about 20% — while observing every activation node's output,
+and turns the observed distributions into :class:`RestrictionBounds`.
+
+It also produces the per-layer range-convergence curves of the paper's
+Fig. 4, which show that the observed maxima converge to the global maxima
+well before the full training set has been profiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Node
+from ..models.base import Model
+from ..ops.activations import Activation
+from .bounds import LayerObservation, RestrictionBounds
+
+
+@dataclass
+class BoundsProfile:
+    """The raw profiling result: per-activation-layer observations."""
+
+    model_name: str
+    observations: Dict[str, LayerObservation]
+    inherent: Dict[str, Tuple[float, float]]
+    samples_used: int
+
+    def activation_layers(self) -> List[str]:
+        """Profiled activation node names in graph order."""
+        return list(self.observations.keys()) + list(self.inherent.keys())
+
+    def select_bounds(self, percentile: float = 100.0) -> RestrictionBounds:
+        """Turn the observations into concrete restriction bounds.
+
+        Profiled layers get ``(observed_min, percentile_of_observed_max)``;
+        inherently-bounded activations keep their mathematical range
+        regardless of the percentile.
+        """
+        bounds: Dict[str, Tuple[float, float]] = {}
+        for name, obs in self.observations.items():
+            bounds[name] = (obs.lower_bound(), obs.percentile_bound(percentile))
+        bounds.update(self.inherent)
+        return RestrictionBounds(bounds=bounds, percentile=percentile)
+
+
+class ActivationProfiler:
+    """Collects activation-value distributions for one model."""
+
+    def __init__(self, model: Model, reservoir_size: int = 4096,
+                 seed: int = 0) -> None:
+        self.model = model
+        self.reservoir_size = reservoir_size
+        self.seed = seed
+
+    def _activation_nodes(self) -> List[Node]:
+        return [node for node in self.model.graph
+                if node.category == "activation"]
+
+    def profile(self, inputs: np.ndarray, batch_size: int = 32
+                ) -> BoundsProfile:
+        """Profile activation ranges over ``inputs``.
+
+        Inherently bounded activations (Tanh/Sigmoid/Atan) are recorded with
+        their mathematical bounds and skipped during observation, matching
+        the paper's Step 1.
+        """
+        if len(inputs) == 0:
+            raise ValueError("profiling requires at least one input")
+        observations: Dict[str, LayerObservation] = {}
+        inherent: Dict[str, Tuple[float, float]] = {}
+        for node in self._activation_nodes():
+            op = node.op
+            if isinstance(op, Activation) and op.inherent_bounds is not None:
+                inherent[node.name] = (float(op.inherent_bounds[0]),
+                                       float(op.inherent_bounds[1]))
+            else:
+                observations[node.name] = LayerObservation(
+                    node_name=node.name, reservoir_size=self.reservoir_size,
+                    _rng=np.random.default_rng(self.seed + len(observations)))
+        if not observations and not inherent:
+            raise ValueError(
+                f"model '{self.model.name}' has no activation layers to profile")
+
+        executor = self.model.executor()
+
+        def observer(node: Node, output: np.ndarray) -> None:
+            if node.name in observations:
+                observations[node.name].update(output)
+
+        executor.add_observer(observer)
+        try:
+            for start in range(0, len(inputs), batch_size):
+                batch = inputs[start:start + batch_size]
+                executor.run({self.model.input_name: batch},
+                             outputs=[self.model.output_name])
+        finally:
+            executor.remove_observer(observer)
+
+        return BoundsProfile(model_name=self.model.name,
+                             observations=observations, inherent=inherent,
+                             samples_used=len(inputs))
+
+    # -- Fig. 4: convergence of the observed ranges -----------------------------
+
+    def convergence_curve(self, inputs: np.ndarray,
+                          fractions: Sequence[float] = (0.05, 0.1, 0.2, 0.4,
+                                                        0.6, 0.8, 1.0),
+                          batch_size: int = 32,
+                          ) -> Dict[str, List[float]]:
+        """Observed per-layer maxima vs. amount of profiling data.
+
+        Returns, per profiled activation layer, the running maximum after
+        each fraction of ``inputs``, normalized to the layer's global maximum
+        over all of ``inputs`` — the quantity plotted in the paper's Fig. 4.
+        """
+        if len(inputs) == 0:
+            raise ValueError("convergence curve requires at least one input")
+        fractions = sorted(set(float(f) for f in fractions))
+        if any(f <= 0.0 or f > 1.0 for f in fractions):
+            raise ValueError("fractions must lie in (0, 1]")
+        checkpoints = [max(1, int(round(f * len(inputs)))) for f in fractions]
+
+        nodes = [node.name for node in self._activation_nodes()
+                 if not (isinstance(node.op, Activation)
+                         and node.op.inherent_bounds is not None)]
+        running_max = {name: -np.inf for name in nodes}
+        curves: Dict[str, List[float]] = {name: [] for name in nodes}
+        executor = self.model.executor()
+
+        def observer(node: Node, output: np.ndarray) -> None:
+            if node.name in running_max:
+                running_max[node.name] = max(running_max[node.name],
+                                             float(np.max(output)))
+
+        executor.add_observer(observer)
+        try:
+            processed = 0
+            checkpoint_iter = iter(checkpoints)
+            next_checkpoint = next(checkpoint_iter)
+            for start in range(0, len(inputs), batch_size):
+                batch = inputs[start:start + batch_size]
+                executor.run({self.model.input_name: batch},
+                             outputs=[self.model.output_name])
+                processed += len(batch)
+                while next_checkpoint is not None and processed >= next_checkpoint:
+                    for name in nodes:
+                        curves[name].append(running_max[name])
+                    next_checkpoint = next(checkpoint_iter, None)
+        finally:
+            executor.remove_observer(observer)
+
+        # Normalize by the global maximum (the last recorded value).
+        for name in nodes:
+            global_max = curves[name][-1]
+            if global_max <= 0:
+                curves[name] = [1.0 for _ in curves[name]]
+            else:
+                curves[name] = [v / global_max for v in curves[name]]
+        return curves

@@ -1,0 +1,141 @@
+"""High-level Ranger API: profile, select bounds, protect.
+
+This is the entry point downstream users call:
+
+>>> from repro.core import Ranger
+>>> ranger = Ranger(percentile=100.0, policy="clip")
+>>> protected, info = ranger.protect(model, profile_inputs=x_train_sample)
+
+``protect`` performs the full pipeline of the paper: profile the activation
+ranges over (a sample of) the training data, select the restriction bounds at
+the configured percentile, and apply the Algorithm-1 graph transformation.
+The returned :class:`ProtectionInfo` carries everything the evaluation
+harness needs (bounds, insertion time, inserted node count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..models.base import Model
+from .bounds import RestrictionBounds
+from .profiler import ActivationProfiler, BoundsProfile
+from .transform import RangerTransform, TransformReport, apply_ranger
+
+
+@dataclass
+class ProtectionInfo:
+    """Everything produced while protecting one model."""
+
+    bounds: RestrictionBounds
+    report: TransformReport
+    profile: Optional[BoundsProfile] = None
+
+    @property
+    def insertion_seconds(self) -> float:
+        return self.report.insertion_seconds
+
+    @property
+    def num_protected_layers(self) -> int:
+        return len(self.report.protected_nodes)
+
+    def memory_overhead_values(self) -> int:
+        """Number of stored bound scalars (the paper's memory overhead)."""
+        return 2 * len(self.bounds)
+
+
+class Ranger:
+    """The automated range-restriction transformation.
+
+    Parameters
+    ----------
+    percentile:
+        Restriction-bound percentile.  ``100`` (default) uses the maximum
+        value observed during profiling — the conservative setting that the
+        paper shows does not affect accuracy.  Lower percentiles (99.9, 99,
+        98) trade accuracy for resilience (Section VI-A).
+    policy:
+        Out-of-bound handling: ``"clip"`` (default), ``"zero"``, ``"random"``.
+    protect_extended:
+        Extend activation bounds to following pooling / reshape / concat
+        operators (the paper's design).  ``False`` gives the ACT-only
+        ablation.
+    sample_fraction:
+        Fraction of the provided profiling inputs actually used (the paper
+        profiles ~20% of the training set).  ``1.0`` uses everything passed.
+    """
+
+    def __init__(self, percentile: float = 100.0, policy: str = "clip",
+                 protect_extended: bool = True, sample_fraction: float = 1.0,
+                 seed: int = 0) -> None:
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {sample_fraction}")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = float(percentile)
+        self.policy = policy
+        self.protect_extended = protect_extended
+        self.sample_fraction = float(sample_fraction)
+        self.seed = seed
+
+    # -- pipeline pieces -----------------------------------------------------------
+
+    def profile(self, model: Model, inputs: np.ndarray,
+                batch_size: int = 32) -> BoundsProfile:
+        """Profile activation ranges over a sample of ``inputs``."""
+        inputs = np.asarray(inputs)
+        if self.sample_fraction < 1.0:
+            rng = np.random.default_rng(self.seed)
+            count = max(1, int(round(len(inputs) * self.sample_fraction)))
+            idx = rng.choice(len(inputs), size=count, replace=False)
+            inputs = inputs[idx]
+        profiler = ActivationProfiler(model, seed=self.seed)
+        return profiler.profile(inputs, batch_size=batch_size)
+
+    def select_bounds(self, profile: BoundsProfile) -> RestrictionBounds:
+        """Choose restriction bounds from a profile at this Ranger's percentile."""
+        return profile.select_bounds(self.percentile)
+
+    def transform(self, model: Model, bounds: RestrictionBounds
+                  ) -> Tuple[Model, TransformReport]:
+        """Apply Algorithm 1 with pre-computed bounds."""
+        return apply_ranger(model, bounds, policy=self.policy,
+                            protect_extended=self.protect_extended,
+                            seed=self.seed)
+
+    # -- the one-call API -------------------------------------------------------------
+
+    def protect(self, model: Model,
+                profile_inputs: Optional[np.ndarray] = None,
+                bounds: Optional[RestrictionBounds] = None,
+                batch_size: int = 32) -> Tuple[Model, ProtectionInfo]:
+        """Protect ``model`` and return (protected_model, protection_info).
+
+        Either ``profile_inputs`` (training data to profile) or pre-computed
+        ``bounds`` must be provided.
+        """
+        profile: Optional[BoundsProfile] = None
+        if bounds is None:
+            if profile_inputs is None:
+                raise ValueError(
+                    "protect() needs either profile_inputs or bounds")
+            profile = self.profile(model, profile_inputs, batch_size=batch_size)
+            bounds = self.select_bounds(profile)
+        protected, report = self.transform(model, bounds)
+        return protected, ProtectionInfo(bounds=bounds, report=report,
+                                         profile=profile)
+
+
+def protect_model(model: Model, profile_inputs: np.ndarray,
+                  percentile: float = 100.0, policy: str = "clip",
+                  sample_fraction: float = 1.0, seed: int = 0,
+                  ) -> Tuple[Model, ProtectionInfo]:
+    """Functional shorthand for ``Ranger(...).protect(model, inputs)``."""
+    ranger = Ranger(percentile=percentile, policy=policy,
+                    sample_fraction=sample_fraction, seed=seed)
+    return ranger.protect(model, profile_inputs=profile_inputs)

@@ -1,0 +1,153 @@
+"""Algorithm 1: the graph transformation that inserts range restriction.
+
+The transformation duplicates the model graph (the original is never mutated,
+mirroring TensorFlow's append-only graphs and the paper's use of
+``import_graph_def`` + ``input_map``) and splices a protection operator after
+
+* every **activation** node that has a restriction bound, and
+* every **pooling / reshape / concatenate** node that directly consumes a
+  protected value stream — the "value dependency" extension of Section III-C
+  Step 2 (a value that was within bound before a max-pool, reshape or concat
+  must still be within bound after it, so the same bound applies).
+
+For a concatenation of two protected streams, the merged bound is
+``(min(low_a, low_b), max(up_a, up_b))`` — Algorithm 1, line 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph import Graph, Node
+from ..models.base import Model
+from .bounds import RestrictionBounds
+from .policies import make_restriction_op
+
+#: Node categories to which a preceding activation's bound is extended.
+EXTENDABLE_CATEGORIES = {"pooling", "reshape", "concat"}
+
+
+@dataclass
+class TransformReport:
+    """What the transformation did — used by the overhead experiments."""
+
+    model_name: str
+    protected_nodes: List[str] = field(default_factory=list)
+    inserted_nodes: List[str] = field(default_factory=list)
+    node_bounds: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    insertion_seconds: float = 0.0
+
+    @property
+    def num_inserted(self) -> int:
+        return len(self.inserted_nodes)
+
+
+class RangerTransform:
+    """Applies selective range restriction to a model graph.
+
+    Parameters
+    ----------
+    bounds:
+        The restriction bounds keyed by activation node name (from the
+        profiler, or supplied manually).
+    policy:
+        Out-of-bound handling policy: ``"clip"`` (default), ``"zero"``, or
+        ``"random"`` (Section VI-C design alternatives).
+    protect_extended:
+        When True (default, the paper's design) the activation bound is also
+        applied to directly-following pooling / reshape / concatenate nodes.
+        Setting this to False yields the "ACT-only" ablation discussed in
+        Section III-C.
+    """
+
+    def __init__(self, bounds: RestrictionBounds, policy: str = "clip",
+                 protect_extended: bool = True, seed: int = 0) -> None:
+        self.bounds = bounds
+        self.policy = policy
+        self.protect_extended = protect_extended
+        self.seed = seed
+
+    # -- public API ----------------------------------------------------------------
+
+    def apply(self, model: Model, suffix: str = "ranger"
+              ) -> Tuple[Model, TransformReport]:
+        """Return a protected copy of ``model`` plus a transformation report."""
+        report = TransformReport(model_name=model.name)
+        start = time.perf_counter()
+        protected_graph = self._transform_graph(model, report)
+        report.insertion_seconds = time.perf_counter() - start
+        protected = model.with_graph(protected_graph, suffix=suffix)
+        return protected, report
+
+    # -- the transformation itself ------------------------------------------------
+
+    def _transform_graph(self, model: Model, report: TransformReport) -> Graph:
+        graph = model.graph
+        # Nodes downstream of the final layer are never protected: the paper
+        # excludes the last FC layer (its values are directly the output and
+        # restricting them cannot help; duplication protects it instead).
+        excluded = self._output_section(model)
+
+        #: Bound of the protected value stream flowing out of each original
+        #: node (activation bounds, propagated through extendable operators).
+        stream_bounds: Dict[str, Tuple[float, float]] = {}
+        insert_count = 0
+
+        def node_hook(new_graph: Graph, copied: Node) -> Optional[str]:
+            nonlocal insert_count
+            original = graph.node(copied.name)
+            if original.name in excluded:
+                return None
+            bound = self._bound_for(original, stream_bounds)
+            if bound is None:
+                return None
+            stream_bounds[original.name] = bound
+            low, high = bound
+            op = make_restriction_op(self.policy, low, high,
+                                     seed=self.seed + insert_count)
+            insert_count += 1
+            guard_name = new_graph.unique_name(f"{copied.name}/ranger")
+            new_graph.add(guard_name, op, [copied.name])
+            report.protected_nodes.append(copied.name)
+            report.inserted_nodes.append(guard_name)
+            report.node_bounds[copied.name] = (low, high)
+            return guard_name
+
+        return graph.duplicate(name=f"{graph.name}_ranger",
+                               node_hook=node_hook)
+
+    def _bound_for(self, node: Node,
+                   stream_bounds: Dict[str, Tuple[float, float]]
+                   ) -> Optional[Tuple[float, float]]:
+        """The restriction bound to apply after ``node``, if any."""
+        if node.category == "activation":
+            return self.bounds.get(node.name)
+        if not self.protect_extended:
+            return None
+        if node.category not in EXTENDABLE_CATEGORIES:
+            return None
+        input_bounds = [stream_bounds.get(name) for name in node.inputs]
+        if not input_bounds or any(b is None for b in input_bounds):
+            # At least one feeding stream is unprotected — extending a bound
+            # here could clip legitimate unbounded values, so skip.
+            return None
+        if node.category == "concat":
+            lows, highs = zip(*input_bounds)
+            return min(lows), max(highs)
+        return input_bounds[0]
+
+    def _output_section(self, model: Model) -> Set[str]:
+        """Nodes at or downstream of the final layer (never protected)."""
+        from ..injection.injector import downstream_nodes
+        return downstream_nodes(model.graph, model.logits_name)
+
+
+def apply_ranger(model: Model, bounds: RestrictionBounds, policy: str = "clip",
+                 protect_extended: bool = True, seed: int = 0,
+                 ) -> Tuple[Model, TransformReport]:
+    """Convenience wrapper: protect ``model`` with the given bounds."""
+    transform = RangerTransform(bounds, policy=policy,
+                                protect_extended=protect_extended, seed=seed)
+    return transform.apply(model)

@@ -1,0 +1,48 @@
+"""Synthetic datasets standing in for MNIST / CIFAR-10 / GTSRB / ImageNet and
+the real-world driving dataset used in the paper's evaluation."""
+
+from .base import Dataset, train_val_split
+from .driving import (
+    MAX_STEERING_DEGREES,
+    degrees_from_output,
+    make_driving,
+    render_road_frame,
+)
+from .vision import (
+    make_digits,
+    make_imagenet_like,
+    make_objects,
+    make_traffic_signs,
+)
+
+DATASET_FACTORIES = {
+    "digits": make_digits,
+    "objects": make_objects,
+    "traffic_signs": make_traffic_signs,
+    "imagenet_like": make_imagenet_like,
+    "driving": make_driving,
+}
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Build a dataset by name with the given generator parameters."""
+    if name not in DATASET_FACTORIES:
+        raise ValueError(f"unknown dataset '{name}'; "
+                         f"expected one of {sorted(DATASET_FACTORIES)}")
+    return DATASET_FACTORIES[name](**kwargs)
+
+
+__all__ = [
+    "DATASET_FACTORIES",
+    "Dataset",
+    "MAX_STEERING_DEGREES",
+    "degrees_from_output",
+    "load_dataset",
+    "make_digits",
+    "make_driving",
+    "make_imagenet_like",
+    "make_objects",
+    "make_traffic_signs",
+    "render_road_frame",
+    "train_val_split",
+]

@@ -1,0 +1,91 @@
+"""Dataset containers and split handling.
+
+All datasets in the reproduction are procedurally generated: the paper's
+evaluation needs (a) inputs the trained model classifies correctly in the
+fault-free case, and (b) training data whose activation ranges can be
+profiled.  Synthetic data provides both while keeping the repository fully
+offline and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset with a train/validation split.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``digits``, ``objects``, ``traffic_signs``,
+        ``imagenet_like``, ``driving``).
+    x_train, y_train:
+        Training inputs and targets.
+    x_val, y_val:
+        Held-out validation inputs and targets, used to evaluate accuracy and
+        (per the paper) to simulate unseen data when checking that Ranger's
+        profiled bounds do not clip legitimate values.
+    task:
+        ``"classification"`` or ``"regression"``.
+    num_classes:
+        Number of classes for classification tasks; ``None`` for regression.
+    """
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    task: str
+    num_classes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.task not in ("classification", "regression"):
+            raise ValueError(f"unknown task '{self.task}'")
+        if len(self.x_train) != len(self.y_train):
+            raise ValueError("x_train and y_train lengths differ")
+        if len(self.x_val) != len(self.y_val):
+            raise ValueError("x_val and y_val lengths differ")
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return tuple(self.x_train.shape[1:])
+
+    @property
+    def train_size(self) -> int:
+        return len(self.x_train)
+
+    @property
+    def val_size(self) -> int:
+        return len(self.x_val)
+
+    def sample_train(self, n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """A random subset of the training split (used for bound profiling)."""
+        n = min(n, self.train_size)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.train_size, size=n, replace=False)
+        return self.x_train[idx], self.y_train[idx]
+
+    def sample_val(self, n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """A random subset of the validation split."""
+        n = min(n, self.val_size)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.val_size, size=n, replace=False)
+        return self.x_val[idx], self.y_val[idx]
+
+
+def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float,
+                    seed: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split arrays into train and validation portions."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(x))
+    x, y = x[order], y[order]
+    n_val = max(1, int(round(len(x) * val_fraction)))
+    return x[n_val:], y[n_val:], x[:n_val], y[:n_val]

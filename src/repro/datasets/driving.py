@@ -1,0 +1,104 @@
+"""Synthetic driving-scene dataset for the steering-angle regression models.
+
+The paper evaluates two AV models (Nvidia Dave and Comma.ai) on a real-world
+driving dataset whose labels are steering angles.  This module generates
+driving-like frames — a road whose curvature determines the steering angle —
+so the regression task has exactly the structure the AV experiments need:
+
+* the target is a continuous steering angle,
+* it can be expressed either in **degrees** or in **radians** (the paper's
+  Section VI-A retrains Dave to output degrees because the radian/atan head is
+  far more fault-sensitive), and
+* SDCs are judged by thresholding the angle deviation (15/30/60/120 degrees).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Dataset, train_val_split
+from . import synthetic as syn
+
+#: Maximum steering magnitude in degrees used by the generator; real steering
+#: datasets (e.g. the SullyChen dataset used by the paper) span roughly this
+#: range.
+MAX_STEERING_DEGREES = 180.0
+
+
+def render_road_frame(height: int, width: int, curvature: float,
+                      lane_offset: float, rng: np.random.Generator) -> np.ndarray:
+    """Render one road frame.
+
+    Parameters
+    ----------
+    curvature:
+        Normalized road curvature in [-1, 1]; positive curves to the right.
+    lane_offset:
+        Lateral offset of the vehicle within the lane, in [-0.3, 0.3].
+    """
+    yy, xx = syn.coordinate_grid(height, width)
+    # Road centreline: x position as a function of depth (y).  The bottom of
+    # the image (y = 1) is nearest the vehicle.
+    depth = (1.0 - yy) / 2.0           # 0 at the bottom, 1 at the horizon
+    centre = lane_offset + curvature * depth ** 2 * 1.5
+    half_width = 0.55 * (1.0 - 0.75 * depth)     # road narrows with distance
+
+    road = (np.abs(xx - centre) <= half_width).astype(np.float64)
+    lane_marking = (np.abs(xx - centre) <= 0.03 * (1.0 - 0.6 * depth)).astype(np.float64)
+    sky = (yy < -0.2).astype(np.float64)
+
+    image = np.zeros((height, width, 3))
+    image += syn.colorize(road, (0.35, 0.35, 0.38))
+    image += syn.colorize(lane_marking, (0.9, 0.9, 0.6)) * 0.8
+    image += syn.colorize(sky * (1 - road), (0.45, 0.65, 0.9)) * 0.9
+    grass = (1.0 - road) * (1.0 - sky)
+    image += syn.colorize(grass, (0.15, 0.45, 0.2)) * 0.8
+    image = np.clip(image, 0.0, 1.0)
+    return syn.add_noise(image, rng, 0.03)
+
+
+def make_driving(num_samples: int = 500, height: int = 24, width: int = 48,
+                 angle_unit: str = "degrees", val_fraction: float = 0.2,
+                 seed: int = 4) -> Dataset:
+    """Driving dataset: frames labelled with the steering angle.
+
+    Parameters
+    ----------
+    angle_unit:
+        ``"degrees"`` (Comma.ai and the retrained Dave model) or
+        ``"radians"`` (the original Dave model, whose atan output head the
+        paper shows to be much more fault-sensitive).
+    """
+    if angle_unit not in ("degrees", "radians"):
+        raise ValueError(f"angle_unit must be 'degrees' or 'radians', "
+                         f"got '{angle_unit}'")
+    rng = np.random.default_rng(seed)
+    images = np.zeros((num_samples, height, width, 3))
+    angles = np.zeros((num_samples, 1))
+    for i in range(num_samples):
+        curvature = float(rng.uniform(-1.0, 1.0))
+        lane_offset = float(rng.uniform(-0.25, 0.25))
+        images[i] = render_road_frame(height, width, curvature, lane_offset, rng)
+        # The steering command follows the curvature with a small contribution
+        # from the lane offset (the driver recentres the vehicle).
+        degrees = (curvature * 0.85 + lane_offset * 0.6) * MAX_STEERING_DEGREES
+        degrees += float(rng.normal(0.0, 2.0))      # label noise
+        if angle_unit == "degrees":
+            angles[i, 0] = degrees
+        else:
+            angles[i, 0] = np.deg2rad(degrees)
+    x_train, y_train, x_val, y_val = train_val_split(images, angles,
+                                                     val_fraction, seed)
+    name = f"driving_{angle_unit}"
+    return Dataset(name, x_train, y_train, x_val, y_val, task="regression")
+
+
+def degrees_from_output(values: np.ndarray, angle_unit: str) -> np.ndarray:
+    """Convert model outputs to degrees for SDC thresholding."""
+    if angle_unit == "degrees":
+        return np.asarray(values, dtype=np.float64)
+    if angle_unit == "radians":
+        return np.rad2deg(np.asarray(values, dtype=np.float64))
+    raise ValueError(f"unknown angle unit '{angle_unit}'")

@@ -1,0 +1,108 @@
+"""Procedural image-generation primitives shared by the synthetic datasets.
+
+Every generator works on a normalized coordinate grid and produces float
+images in ``[0, 1]``.  The goal is not photorealism; it is to produce
+class-conditional structure that small instances of the paper's architectures
+can actually learn, so that the profiled activation ranges and the
+fault-injection outcomes are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def coordinate_grid(height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (yy, xx) grids normalized to [-1, 1]."""
+    ys = np.linspace(-1.0, 1.0, height)
+    xs = np.linspace(-1.0, 1.0, width)
+    return np.meshgrid(ys, xs, indexing="ij")
+
+
+def draw_disk(height: int, width: int, cy: float, cx: float,
+              radius: float) -> np.ndarray:
+    """Filled disk mask centred at (cy, cx) in normalized coordinates."""
+    yy, xx = coordinate_grid(height, width)
+    return ((yy - cy) ** 2 + (xx - cx) ** 2 <= radius ** 2).astype(np.float64)
+
+
+def draw_ring(height: int, width: int, cy: float, cx: float,
+              radius: float, thickness: float) -> np.ndarray:
+    """Ring (annulus) mask."""
+    yy, xx = coordinate_grid(height, width)
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    return ((dist <= radius) & (dist >= radius - thickness)).astype(np.float64)
+
+
+def draw_rectangle(height: int, width: int, cy: float, cx: float,
+                   half_h: float, half_w: float) -> np.ndarray:
+    """Axis-aligned filled rectangle mask."""
+    yy, xx = coordinate_grid(height, width)
+    return ((np.abs(yy - cy) <= half_h)
+            & (np.abs(xx - cx) <= half_w)).astype(np.float64)
+
+
+def draw_bar(height: int, width: int, angle: float, offset: float,
+             thickness: float) -> np.ndarray:
+    """A straight bar crossing the image at ``angle`` (radians)."""
+    yy, xx = coordinate_grid(height, width)
+    dist = np.abs(np.cos(angle) * xx + np.sin(angle) * yy - offset)
+    return (dist <= thickness).astype(np.float64)
+
+
+def draw_triangle(height: int, width: int, cy: float, cx: float,
+                  size: float, inverted: bool = False) -> np.ndarray:
+    """Filled upward (or inverted) triangle mask."""
+    yy, xx = coordinate_grid(height, width)
+    y = (yy - cy) * (-1.0 if inverted else 1.0)
+    x = xx - cx
+    # Upward triangle: apex at -size, base at +size/2.
+    inside = (y <= size / 2.0) & (np.abs(x) <= (y + size) / 3.0 + 1e-9)
+    return inside.astype(np.float64)
+
+
+def draw_cross(height: int, width: int, cy: float, cx: float,
+               size: float, thickness: float) -> np.ndarray:
+    """A plus-shaped cross mask."""
+    horizontal = draw_rectangle(height, width, cy, cx, thickness, size)
+    vertical = draw_rectangle(height, width, cy, cx, size, thickness)
+    return np.clip(horizontal + vertical, 0.0, 1.0)
+
+
+def draw_checkerboard(height: int, width: int, cells: int) -> np.ndarray:
+    """A checkerboard pattern with ``cells`` squares along each side."""
+    yy, xx = coordinate_grid(height, width)
+    return (((np.floor((yy + 1.0) / 2.0 * cells)
+              + np.floor((xx + 1.0) / 2.0 * cells)) % 2)).astype(np.float64)
+
+
+def sinusoidal_texture(height: int, width: int, freq_y: float, freq_x: float,
+                       phase: float = 0.0) -> np.ndarray:
+    """A directional sinusoidal texture in [0, 1]."""
+    yy, xx = coordinate_grid(height, width)
+    wave = np.sin(np.pi * (freq_y * yy + freq_x * xx) + phase)
+    return 0.5 * (wave + 1.0)
+
+
+def radial_gradient(height: int, width: int, cy: float = 0.0,
+                    cx: float = 0.0) -> np.ndarray:
+    """Radial gradient, 1.0 at the centre decaying to 0 at the corners."""
+    yy, xx = coordinate_grid(height, width)
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    return np.clip(1.0 - dist / np.sqrt(2.0), 0.0, 1.0)
+
+
+def add_noise(image: np.ndarray, rng: np.random.Generator,
+              scale: float) -> np.ndarray:
+    """Add Gaussian pixel noise and clip back to [0, 1]."""
+    return np.clip(image + rng.normal(0.0, scale, size=image.shape), 0.0, 1.0)
+
+
+def colorize(mask: np.ndarray, color: Tuple[float, float, float],
+             background: Tuple[float, float, float] = (0.0, 0.0, 0.0)) -> np.ndarray:
+    """Turn a single-channel mask into an RGB image."""
+    fg = np.asarray(color, dtype=np.float64)
+    bg = np.asarray(background, dtype=np.float64)
+    return mask[..., None] * fg + (1.0 - mask[..., None]) * bg

@@ -1,0 +1,250 @@
+"""Synthetic classification datasets.
+
+Four generators standing in for the paper's classification datasets:
+
+* :func:`make_digits` — MNIST stand-in (grayscale glyphs, 10 classes), used by
+  LeNet.
+* :func:`make_objects` — CIFAR-10 stand-in (colored shapes on textured
+  backgrounds, 10 classes), used by AlexNet.
+* :func:`make_traffic_signs` — GTSRB stand-in (sign shapes with colored
+  borders and inner glyphs), used by VGG11.
+* :func:`make_imagenet_like` — many-class textured-image stand-in, used by
+  VGG16, ResNet-18 and SqueezeNet.
+
+All generators are deterministic given a seed and return a
+:class:`~repro.datasets.base.Dataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Dataset, train_val_split
+from . import synthetic as syn
+
+
+# ---------------------------------------------------------------------------
+# Digits (MNIST stand-in)
+# ---------------------------------------------------------------------------
+
+def _digit_glyph(height: int, width: int, digit: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Draw a stylized glyph for one of ten digit classes."""
+    jitter = lambda: rng.uniform(-0.12, 0.12)  # noqa: E731 - local shorthand
+    cy, cx = jitter(), jitter()
+    thickness = rng.uniform(0.10, 0.16)
+    if digit == 0:
+        glyph = syn.draw_ring(height, width, cy, cx, 0.65, thickness * 2)
+    elif digit == 1:
+        glyph = syn.draw_rectangle(height, width, cy, cx, 0.65, thickness)
+    elif digit == 2:
+        glyph = (syn.draw_bar(height, width, 0.0, -0.5 + cy, thickness)
+                 + syn.draw_bar(height, width, np.pi / 4, cy, thickness)
+                 + syn.draw_bar(height, width, 0.0, 0.5 + cy, thickness))
+    elif digit == 3:
+        glyph = (syn.draw_bar(height, width, 0.0, -0.5 + cy, thickness)
+                 + syn.draw_bar(height, width, 0.0, cy, thickness)
+                 + syn.draw_bar(height, width, 0.0, 0.5 + cy, thickness)
+                 + syn.draw_rectangle(height, width, cy, cx + 0.5, 0.6, thickness))
+    elif digit == 4:
+        glyph = (syn.draw_rectangle(height, width, cy - 0.3, cx - 0.3, 0.35, thickness)
+                 + syn.draw_rectangle(height, width, cy, cx + 0.2, 0.65, thickness)
+                 + syn.draw_bar(height, width, 0.0, cy, thickness))
+    elif digit == 5:
+        glyph = (syn.draw_bar(height, width, 0.0, -0.5 + cy, thickness)
+                 + syn.draw_rectangle(height, width, cy - 0.25, cx - 0.3, 0.3, thickness)
+                 + syn.draw_bar(height, width, 0.0, cy, thickness)
+                 + syn.draw_rectangle(height, width, cy + 0.25, cx + 0.3, 0.3, thickness)
+                 + syn.draw_bar(height, width, 0.0, 0.5 + cy, thickness))
+    elif digit == 6:
+        glyph = (syn.draw_ring(height, width, cy + 0.25, cx, 0.42, thickness * 2)
+                 + syn.draw_rectangle(height, width, cy - 0.25, cx - 0.35, 0.4, thickness))
+    elif digit == 7:
+        glyph = (syn.draw_bar(height, width, 0.0, -0.5 + cy, thickness)
+                 + syn.draw_bar(height, width, np.pi / 3, cy, thickness))
+    elif digit == 8:
+        glyph = (syn.draw_ring(height, width, cy - 0.3, cx, 0.35, thickness * 2)
+                 + syn.draw_ring(height, width, cy + 0.3, cx, 0.35, thickness * 2))
+    else:  # 9
+        glyph = (syn.draw_ring(height, width, cy - 0.25, cx, 0.42, thickness * 2)
+                 + syn.draw_rectangle(height, width, cy + 0.25, cx + 0.35, 0.4, thickness))
+    return np.clip(glyph, 0.0, 1.0)
+
+
+def make_digits(num_samples: int = 600, image_size: int = 20,
+                noise: float = 0.08, val_fraction: float = 0.2,
+                seed: int = 0) -> Dataset:
+    """MNIST stand-in: grayscale digit glyphs, 10 classes."""
+    rng = np.random.default_rng(seed)
+    images = np.zeros((num_samples, image_size, image_size, 1))
+    labels = np.zeros(num_samples, dtype=np.int64)
+    for i in range(num_samples):
+        digit = int(rng.integers(10))
+        glyph = _digit_glyph(image_size, image_size, digit, rng)
+        images[i, :, :, 0] = syn.add_noise(glyph, rng, noise)
+        labels[i] = digit
+    x_train, y_train, x_val, y_val = train_val_split(images, labels,
+                                                     val_fraction, seed)
+    return Dataset("digits", x_train, y_train, x_val, y_val,
+                   task="classification", num_classes=10)
+
+
+# ---------------------------------------------------------------------------
+# Objects (CIFAR-10 stand-in)
+# ---------------------------------------------------------------------------
+
+_OBJECT_COLORS = [
+    (0.9, 0.2, 0.2), (0.2, 0.9, 0.2), (0.2, 0.2, 0.9), (0.9, 0.9, 0.2),
+    (0.9, 0.2, 0.9), (0.2, 0.9, 0.9), (0.95, 0.6, 0.1), (0.6, 0.3, 0.8),
+    (0.5, 0.8, 0.3), (0.8, 0.8, 0.8),
+]
+
+
+def _object_image(size: int, label: int, rng: np.random.Generator) -> np.ndarray:
+    """A colored shape class on a textured background."""
+    shape_kind = label % 5
+    color = _OBJECT_COLORS[label]
+    cy, cx = rng.uniform(-0.2, 0.2, size=2)
+    scale = rng.uniform(0.45, 0.65)
+    if shape_kind == 0:
+        mask = syn.draw_disk(size, size, cy, cx, scale)
+    elif shape_kind == 1:
+        mask = syn.draw_rectangle(size, size, cy, cx, scale * 0.7, scale * 0.7)
+    elif shape_kind == 2:
+        mask = syn.draw_triangle(size, size, cy, cx, scale, inverted=False)
+    elif shape_kind == 3:
+        mask = syn.draw_cross(size, size, cy, cx, scale, scale * 0.25)
+    else:
+        mask = syn.draw_ring(size, size, cy, cx, scale, scale * 0.35)
+    background = syn.sinusoidal_texture(size, size,
+                                        freq_y=1.0 + (label // 5) * 2.0,
+                                        freq_x=2.0,
+                                        phase=rng.uniform(0, np.pi))
+    image = syn.colorize(mask, color,
+                         background=(0.25, 0.25, 0.25))
+    image += 0.3 * background[..., None]
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_objects(num_samples: int = 600, image_size: int = 24,
+                 noise: float = 0.05, val_fraction: float = 0.2,
+                 seed: int = 1) -> Dataset:
+    """CIFAR-10 stand-in: 10 classes of colored shapes on textures."""
+    rng = np.random.default_rng(seed)
+    images = np.zeros((num_samples, image_size, image_size, 3))
+    labels = np.zeros(num_samples, dtype=np.int64)
+    for i in range(num_samples):
+        label = int(rng.integers(10))
+        images[i] = syn.add_noise(_object_image(image_size, label, rng), rng, noise)
+        labels[i] = label
+    x_train, y_train, x_val, y_val = train_val_split(images, labels,
+                                                     val_fraction, seed)
+    return Dataset("objects", x_train, y_train, x_val, y_val,
+                   task="classification", num_classes=10)
+
+
+# ---------------------------------------------------------------------------
+# Traffic signs (GTSRB stand-in)
+# ---------------------------------------------------------------------------
+
+def _traffic_sign_image(size: int, label: int, num_classes: int,
+                        rng: np.random.Generator) -> np.ndarray:
+    """A sign: border shape determined by class group, inner glyph by class."""
+    group = label % 3  # circle / triangle / rectangle signs
+    cy, cx = rng.uniform(-0.1, 0.1, size=2)
+    if group == 0:
+        border = syn.draw_ring(size, size, cy, cx, 0.8, 0.22)
+        fill = syn.draw_disk(size, size, cy, cx, 0.6)
+        border_color = (0.85, 0.1, 0.1)
+    elif group == 1:
+        border = syn.draw_triangle(size, size, cy, cx, 1.0)
+        fill = syn.draw_triangle(size, size, cy, cx, 0.7)
+        border_color = (0.85, 0.1, 0.1)
+    else:
+        border = syn.draw_rectangle(size, size, cy, cx, 0.75, 0.75)
+        fill = syn.draw_rectangle(size, size, cy, cx, 0.55, 0.55)
+        border_color = (0.1, 0.2, 0.85)
+    inner_kind = (label // 3) % 4
+    if inner_kind == 0:
+        glyph = syn.draw_bar(size, size, np.pi / 2, cy, 0.12)
+    elif inner_kind == 1:
+        glyph = syn.draw_bar(size, size, np.pi / 4, cy, 0.12)
+    elif inner_kind == 2:
+        glyph = syn.draw_cross(size, size, cy, cx, 0.4, 0.1)
+    else:
+        glyph = syn.draw_disk(size, size, cy, cx, 0.25)
+    glyph = glyph * fill
+    image = syn.colorize(border, border_color, background=(0.35, 0.4, 0.35))
+    image += syn.colorize(fill, (0.95, 0.95, 0.95)) * 0.8
+    image -= syn.colorize(glyph, (0.9, 0.9, 0.9)) * 0.9
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_traffic_signs(num_samples: int = 600, image_size: int = 24,
+                       num_classes: int = 12, noise: float = 0.05,
+                       val_fraction: float = 0.2, seed: int = 2) -> Dataset:
+    """GTSRB stand-in: traffic-sign-like images.
+
+    The real GTSRB has 43 classes; the default here is 12 (three border
+    shapes x four inner glyphs) to keep laptop-scale training fast, and can be
+    raised via ``num_classes``.
+    """
+    if num_classes > 12:
+        raise ValueError("the synthetic traffic-sign generator supports at "
+                         "most 12 distinguishable classes")
+    rng = np.random.default_rng(seed)
+    images = np.zeros((num_samples, image_size, image_size, 3))
+    labels = np.zeros(num_samples, dtype=np.int64)
+    for i in range(num_samples):
+        label = int(rng.integers(num_classes))
+        images[i] = syn.add_noise(
+            _traffic_sign_image(image_size, label, num_classes, rng), rng, noise)
+        labels[i] = label
+    x_train, y_train, x_val, y_val = train_val_split(images, labels,
+                                                     val_fraction, seed)
+    return Dataset("traffic_signs", x_train, y_train, x_val, y_val,
+                   task="classification", num_classes=num_classes)
+
+
+# ---------------------------------------------------------------------------
+# ImageNet stand-in
+# ---------------------------------------------------------------------------
+
+def _imagenet_like_image(size: int, label: int, rng: np.random.Generator) -> np.ndarray:
+    """Class-conditional multi-scale texture with a class-colored object."""
+    freq = 1.0 + (label % 5) * 1.5
+    orientation = (label // 5) * np.pi / 4.0
+    texture = syn.sinusoidal_texture(size, size,
+                                     freq_y=freq * np.sin(orientation),
+                                     freq_x=freq * np.cos(orientation),
+                                     phase=rng.uniform(0, np.pi))
+    color = _OBJECT_COLORS[label % len(_OBJECT_COLORS)]
+    cy, cx = rng.uniform(-0.3, 0.3, size=2)
+    mask = syn.draw_disk(size, size, cy, cx, rng.uniform(0.3, 0.5))
+    image = 0.55 * texture[..., None] * np.asarray([0.8, 0.9, 1.0])
+    image += syn.colorize(mask, color) * 0.7
+    image += 0.2 * syn.radial_gradient(size, size, cy, cx)[..., None]
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_imagenet_like(num_samples: int = 800, image_size: int = 32,
+                       num_classes: int = 20, noise: float = 0.04,
+                       val_fraction: float = 0.2, seed: int = 3) -> Dataset:
+    """ImageNet stand-in: many-class textured images for the large CNNs."""
+    if num_classes > 40:
+        raise ValueError("the synthetic ImageNet generator supports at most "
+                         "40 distinguishable classes")
+    rng = np.random.default_rng(seed)
+    images = np.zeros((num_samples, image_size, image_size, 3))
+    labels = np.zeros(num_samples, dtype=np.int64)
+    for i in range(num_samples):
+        label = int(rng.integers(num_classes))
+        images[i] = syn.add_noise(_imagenet_like_image(image_size, label, rng),
+                                  rng, noise)
+        labels[i] = label
+    x_train, y_train, x_val, y_val = train_val_split(images, labels,
+                                                     val_fraction, seed)
+    return Dataset("imagenet_like", x_train, y_train, x_val, y_val,
+                   task="classification", num_classes=num_classes)

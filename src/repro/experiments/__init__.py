@@ -1,0 +1,59 @@
+"""Experiment definitions — one per table / figure of the paper."""
+
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    TRAINING_CONFIG,
+    get_prepared,
+    paired_sdc_rates,
+    protect_with_ranger,
+)
+from .comparison_experiments import (
+    run_fig8_hong_comparison,
+    run_table6_technique_comparison,
+)
+from .overhead_experiments import (
+    run_memory_overhead,
+    run_table2_accuracy,
+    run_table3_insertion_time,
+    run_table4_flops_overhead,
+)
+from .profiling_experiments import run_fig4_bound_convergence
+from .runner import EXPERIMENT_REGISTRY, results_to_markdown, run_all_experiments
+from .sdc_experiments import (
+    run_fig6_classifier_sdc,
+    run_fig7_steering_sdc,
+    run_fig9_fixed16_sdc,
+    run_fig11_multibit_classifiers,
+    run_fig12_multibit_steering,
+)
+from .tradeoff_experiments import (
+    run_fig10_bound_tradeoff,
+    run_sec6c_design_alternatives,
+)
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentResult",
+    "ExperimentScale",
+    "TRAINING_CONFIG",
+    "get_prepared",
+    "paired_sdc_rates",
+    "protect_with_ranger",
+    "results_to_markdown",
+    "run_all_experiments",
+    "run_fig4_bound_convergence",
+    "run_fig6_classifier_sdc",
+    "run_fig7_steering_sdc",
+    "run_fig8_hong_comparison",
+    "run_fig9_fixed16_sdc",
+    "run_fig10_bound_tradeoff",
+    "run_fig11_multibit_classifiers",
+    "run_fig12_multibit_steering",
+    "run_memory_overhead",
+    "run_sec6c_design_alternatives",
+    "run_table2_accuracy",
+    "run_table3_insertion_time",
+    "run_table4_flops_overhead",
+    "run_table6_technique_comparison",
+]

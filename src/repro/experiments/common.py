@@ -1,0 +1,133 @@
+"""Shared infrastructure for the per-table / per-figure experiments.
+
+Every experiment module exposes ``run_*`` functions that take an
+:class:`ExperimentScale` and return an :class:`ExperimentResult`.  The scale
+object controls how much work is done (fault-injection trials, number of
+evaluation inputs, which models are included) so the same experiment
+definition can be run as a seconds-long smoke test, the committed benchmark
+configuration, or a paper-scale overnight campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Ranger
+from ..injection import (
+    FaultInjectionCampaign,
+    FaultModel,
+    SingleBitFlip,
+    compare_protection,
+)
+from ..models import CLASSIFIER_MODELS, STEERING_MODELS, PreparedModel, prepare_model
+from ..quantization import FIXED16, FIXED32, fixed16_policy, fixed32_policy
+
+#: Training configuration per model used by all experiments, calibrated so
+#: the small presets reach usable accuracy in minutes on a laptop.
+TRAINING_CONFIG: Dict[str, Dict[str, Any]] = {
+    "lenet": {"epochs": 6, "learning_rate": 2e-3},
+    "alexnet": {"epochs": 5, "learning_rate": 2e-3},
+    "vgg11": {"epochs": 10, "learning_rate": 4e-3},
+    "vgg16": {"epochs": 10, "learning_rate": 4e-3, "num_classes": 10},
+    "resnet18": {"epochs": 3, "learning_rate": 2e-3},
+    "squeezenet": {"epochs": 12, "learning_rate": 6e-3, "num_classes": 10,
+                   "width_scale": 0.5},
+    "dave": {"epochs": 12, "learning_rate": 3e-3},
+    "comma": {"epochs": 8, "learning_rate": 2e-3},
+}
+
+
+@dataclass
+class ExperimentScale:
+    """How much work each experiment does.
+
+    The defaults are the committed benchmark configuration; ``smoke()``
+    returns a seconds-scale configuration used by the test suite and
+    ``paper()`` approaches the paper's trial counts.
+    """
+
+    trials: int = 120
+    num_inputs: int = 8
+    classifier_models: Sequence[str] = ("lenet", "alexnet", "vgg11")
+    large_classifier_models: Sequence[str] = ("vgg16", "resnet18", "squeezenet")
+    steering_models: Sequence[str] = ("dave", "comma")
+    include_large_models: bool = True
+    profile_samples: int = 120
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        return cls(trials=25, num_inputs=4,
+                   classifier_models=("lenet",),
+                   large_classifier_models=(),
+                   steering_models=("comma",),
+                   include_large_models=False, profile_samples=40)
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(trials=3000, num_inputs=10, profile_samples=2000)
+
+    def all_classifiers(self) -> List[str]:
+        models = list(self.classifier_models)
+        if self.include_large_models:
+            models.extend(self.large_classifier_models)
+        return models
+
+    def all_models(self) -> List[str]:
+        return self.all_classifiers() + list(self.steering_models)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    name: str
+    paper_reference: str
+    data: Dict[str, Any]
+    rendered: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"=== {self.name} ({self.paper_reference}) ===\n{self.rendered}"
+
+
+def get_prepared(model_name: str, scale: ExperimentScale,
+                 **overrides) -> PreparedModel:
+    """Build + train a model with the experiment-wide training config."""
+    config = dict(TRAINING_CONFIG.get(model_name, {}))
+    config.update(overrides)
+    epochs = config.pop("epochs", 6)
+    learning_rate = config.pop("learning_rate", 2e-3)
+    return prepare_model(model_name, epochs=epochs,
+                         learning_rate=learning_rate, seed=scale.seed,
+                         **config)
+
+
+def protect_with_ranger(prepared: PreparedModel, scale: ExperimentScale,
+                        percentile: float = 100.0, policy: str = "clip"):
+    """Profile on a training-set sample and apply Ranger."""
+    ranger = Ranger(percentile=percentile, policy=policy, seed=scale.seed)
+    sample, _ = prepared.dataset.sample_train(scale.profile_samples,
+                                              seed=scale.seed)
+    return ranger.protect(prepared.model, profile_inputs=sample)
+
+
+def paired_sdc_rates(prepared: PreparedModel, protected, scale: ExperimentScale,
+                     fault_model: Optional[FaultModel] = None,
+                     dtype_policy=None, criteria=None
+                     ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """SDC rates (percent) per criterion for the original and protected model,
+    using the same fault plans on both."""
+    inputs, _ = prepared.correctly_predicted_inputs(scale.num_inputs,
+                                                    seed=scale.seed)
+    base, guarded = compare_protection(
+        prepared.model, protected, inputs,
+        fault_model=fault_model or SingleBitFlip(FIXED32),
+        criteria=criteria,
+        dtype_policy=dtype_policy if dtype_policy is not None else fixed32_policy(),
+        trials=scale.trials, seed=scale.seed)
+    original = {c: base.sdc_rate_percent(c) for c in base.criteria}
+    with_ranger = {c: guarded.sdc_rate_percent(c) for c in guarded.criteria}
+    return original, with_ranger

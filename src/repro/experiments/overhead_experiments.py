@@ -1,0 +1,115 @@
+"""Accuracy and overhead experiments: Tables II, III and IV.
+
+* Table II — fault-free accuracy of every model with and without Ranger
+  (the paper's claim: identical, occasionally marginally better).
+* Table III — wall-clock time to insert Ranger into each model.
+* Table IV — FLOPs overhead of the inserted range-restriction operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis import evaluate_accuracy, protection_overhead, render_table
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    get_prepared,
+    protect_with_ranger,
+)
+
+
+def run_table2_accuracy(scale: Optional[ExperimentScale] = None
+                        ) -> ExperimentResult:
+    """Table II: validation accuracy with and without Ranger (no faults)."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model_name in scale.all_models():
+        prepared = get_prepared(model_name, scale)
+        protected, _ = protect_with_ranger(prepared, scale)
+        x_val, y_val = prepared.dataset.x_val, prepared.dataset.y_val
+        without = evaluate_accuracy(prepared.model, x_val, y_val)
+        with_ranger = evaluate_accuracy(protected, x_val, y_val)
+        data[model_name] = {"without": without.as_dict(),
+                            "with": with_ranger.as_dict()}
+        for metric in without.as_dict():
+            before = without.as_dict()[metric]
+            after = with_ranger.as_dict()[metric]
+            rows.append([model_name, metric, before, after, after - before])
+    rendered = render_table(
+        ["model", "metric", "w/o Ranger", "w/ Ranger", "diff"], rows,
+        title="Table II — fault-free accuracy with and without Ranger",
+        precision=4)
+    return ExperimentResult(name="table2_accuracy", paper_reference="Table II",
+                            data=data, rendered=rendered)
+
+
+def run_table3_insertion_time(scale: Optional[ExperimentScale] = None
+                              ) -> ExperimentResult:
+    """Table III: time to automatically insert Ranger into each model."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, float] = {}
+    for model_name in scale.all_models():
+        prepared = get_prepared(model_name, scale)
+        _, info = protect_with_ranger(prepared, scale)
+        data[model_name] = info.insertion_seconds
+        rows.append([model_name, info.insertion_seconds * 1000.0,
+                     info.num_protected_layers])
+    rendered = render_table(
+        ["model", "insertion time (ms)", "protected layers"], rows,
+        title="Table III — Ranger insertion time", precision=3)
+    return ExperimentResult(name="table3_insertion_time",
+                            paper_reference="Table III", data=data,
+                            rendered=rendered)
+
+
+def run_table4_flops_overhead(scale: Optional[ExperimentScale] = None
+                              ) -> ExperimentResult:
+    """Table IV: FLOPs with and without Ranger, and the relative overhead."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for model_name in scale.all_models():
+        prepared = get_prepared(model_name, scale)
+        protected, _ = protect_with_ranger(prepared, scale)
+        overhead = protection_overhead(prepared.model, protected)
+        data[model_name] = overhead
+        rows.append([model_name, overhead["flops_without"] / 1e6,
+                     overhead["flops_with"] / 1e6,
+                     100.0 * overhead["overhead"]])
+    average = float(np.mean([d["overhead"] for d in data.values()])) * 100.0
+    rows.append(["average", "", "", average])
+    rendered = render_table(
+        ["model", "MFLOPs w/o Ranger", "MFLOPs w/ Ranger", "overhead %"], rows,
+        title="Table IV — computation overhead of Ranger (FLOPs)", precision=3)
+    data["average_overhead_percent"] = average
+    return ExperimentResult(name="table4_flops_overhead",
+                            paper_reference="Table IV", data=data,
+                            rendered=rendered)
+
+
+def run_memory_overhead(scale: Optional[ExperimentScale] = None
+                        ) -> ExperimentResult:
+    """RQ3 memory overhead: stored bound values vs. model parameters."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for model_name in scale.all_models():
+        prepared = get_prepared(model_name, scale)
+        _, info = protect_with_ranger(prepared, scale)
+        stored = info.memory_overhead_values()
+        params = prepared.model.num_parameters
+        ratio = stored / max(params, 1)
+        data[model_name] = {"bound_values": stored, "parameters": params,
+                            "ratio": ratio}
+        rows.append([model_name, stored, params, 100.0 * ratio])
+    rendered = render_table(
+        ["model", "stored bounds", "parameters", "overhead %"], rows,
+        title="RQ3 — memory overhead of Ranger (stored bound values)",
+        precision=4)
+    return ExperimentResult(name="memory_overhead", paper_reference="RQ3 (text)",
+                            data=data, rendered=rendered)

@@ -1,0 +1,46 @@
+"""Profiling experiment: Fig. 4 — convergence of restriction bounds.
+
+The paper's Fig. 4 shows, for VGG16's 13 activation layers, the maximum
+activation value observed as a function of how much training data is
+profiled, normalized to the global maximum.  The claim is that a ~20% sample
+of the training data already captures the full value range, so deriving
+bounds is a cheap one-time cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.reporting import render_series
+from ..core.profiler import ActivationProfiler
+from .common import ExperimentResult, ExperimentScale, get_prepared
+
+
+def run_fig4_bound_convergence(scale: Optional[ExperimentScale] = None,
+                               model_name: str = "vgg16",
+                               fractions: Sequence[float] = (0.05, 0.1, 0.2,
+                                                             0.4, 0.6, 0.8, 1.0)
+                               ) -> ExperimentResult:
+    """Fig. 4: per-layer observed-maximum convergence vs. profiling fraction."""
+    scale = scale or ExperimentScale()
+    prepared = get_prepared(model_name, scale)
+    profiler = ActivationProfiler(prepared.model, seed=scale.seed)
+    sample, _ = prepared.dataset.sample_train(
+        max(scale.profile_samples, 20), seed=scale.seed)
+    curves = profiler.convergence_curve(sample, fractions=fractions)
+
+    # Also report the mean curve across layers (the visual takeaway of Fig. 4).
+    mean_curve = np.mean(np.array(list(curves.values())), axis=0).tolist()
+    series = dict(curves)
+    series["mean over layers"] = mean_curve
+    rendered = render_series(series, [f"{f:.0%}" for f in sorted(set(fractions))],
+                             title=f"Fig. 4 — normalized max activation vs. "
+                                   f"profiling fraction ({model_name})")
+    data = {"model": model_name, "fractions": sorted(set(float(f) for f in fractions)),
+            "curves": curves, "mean_curve": mean_curve,
+            "samples": len(sample)}
+    return ExperimentResult(name="fig4_bound_convergence",
+                            paper_reference="Fig. 4", data=data,
+                            rendered=rendered)

@@ -1,0 +1,89 @@
+"""Run every reproduced table and figure and collect the results.
+
+``run_all_experiments`` is the entry point used by ``examples/full_evaluation.py``
+and by the EXPERIMENTS.md generation; each experiment can also be run on its
+own through the functions re-exported from :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .common import ExperimentResult, ExperimentScale
+from .comparison_experiments import (
+    run_fig8_hong_comparison,
+    run_table6_technique_comparison,
+)
+from .overhead_experiments import (
+    run_memory_overhead,
+    run_table2_accuracy,
+    run_table3_insertion_time,
+    run_table4_flops_overhead,
+)
+from .profiling_experiments import run_fig4_bound_convergence
+from .sdc_experiments import (
+    run_fig6_classifier_sdc,
+    run_fig7_steering_sdc,
+    run_fig9_fixed16_sdc,
+    run_fig11_multibit_classifiers,
+    run_fig12_multibit_steering,
+)
+from .tradeoff_experiments import (
+    run_fig10_bound_tradeoff,
+    run_sec6c_design_alternatives,
+)
+
+#: Registry of every experiment, in paper order.
+EXPERIMENT_REGISTRY: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = {
+    "fig4_bound_convergence": run_fig4_bound_convergence,
+    "fig6_classifier_sdc": run_fig6_classifier_sdc,
+    "fig7_steering_sdc": run_fig7_steering_sdc,
+    "fig8_hong_comparison": run_fig8_hong_comparison,
+    "fig9_fixed16_sdc": run_fig9_fixed16_sdc,
+    "fig10_bound_tradeoff": run_fig10_bound_tradeoff,
+    "fig11_multibit_classifiers": run_fig11_multibit_classifiers,
+    "fig12_multibit_steering": run_fig12_multibit_steering,
+    "table2_accuracy": run_table2_accuracy,
+    "table3_insertion_time": run_table3_insertion_time,
+    "table4_flops_overhead": run_table4_flops_overhead,
+    "table6_technique_comparison": run_table6_technique_comparison,
+    "memory_overhead": run_memory_overhead,
+    "sec6c_design_alternatives": run_sec6c_design_alternatives,
+}
+
+
+def run_all_experiments(scale: Optional[ExperimentScale] = None,
+                        only: Optional[Sequence[str]] = None,
+                        verbose: bool = True) -> List[ExperimentResult]:
+    """Run the registered experiments and return their results in order."""
+    scale = scale or ExperimentScale()
+    names = list(only) if only else list(EXPERIMENT_REGISTRY)
+    unknown = [n for n in names if n not in EXPERIMENT_REGISTRY]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+    results: List[ExperimentResult] = []
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENT_REGISTRY[name](scale)
+        elapsed = time.perf_counter() - start
+        if verbose:
+            print(f"[{elapsed:7.1f}s] {result.name} ({result.paper_reference})")
+            print(result.rendered)
+            print()
+        results.append(result)
+    return results
+
+
+def results_to_markdown(results: Sequence[ExperimentResult],
+                        title: str = "Reproduced results") -> str:
+    """Format experiment results as a markdown report."""
+    lines = [f"# {title}", ""]
+    for result in results:
+        lines.append(f"## {result.paper_reference} — {result.name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.rendered)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

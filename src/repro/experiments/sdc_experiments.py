@@ -1,0 +1,173 @@
+"""SDC-rate experiments: Figures 6, 7, 9, 11 and 12 of the paper.
+
+* Fig. 6 — SDC rates of the classifier models, original vs. Ranger, under
+  single bit flips with the 32-bit fixed-point datatype.
+* Fig. 7 — SDC rates of the two steering models at the four deviation
+  thresholds (15/30/60/120 degrees).
+* Fig. 9 — the same comparison under the 16-bit (Q14.2) fixed-point datatype
+  (RQ4).
+* Figs. 11/12 — multi-bit flips (2–5 independent bit flips) on classifier and
+  steering models respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.reporting import render_series, render_table
+from ..injection import MultiBitFlip, SingleBitFlip, SteeringDeviation
+from ..injection.sdc import STEERING_THRESHOLDS, TopKMisclassification
+from ..quantization import FIXED16, FIXED32, fixed16_policy, fixed32_policy
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    get_prepared,
+    paired_sdc_rates,
+    protect_with_ranger,
+)
+
+
+def run_fig6_classifier_sdc(scale: Optional[ExperimentScale] = None
+                            ) -> ExperimentResult:
+    """Fig. 6: classifier SDC rates with and without Ranger (top-1 and top-5)."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for model_name in scale.all_classifiers():
+        prepared = get_prepared(model_name, scale)
+        protected, _ = protect_with_ranger(prepared, scale)
+        criteria = [TopKMisclassification(k=1)]
+        if prepared.dataset.num_classes and prepared.dataset.num_classes >= 5:
+            criteria.append(TopKMisclassification(k=5))
+        original, with_ranger = paired_sdc_rates(prepared, protected, scale,
+                                                 criteria=criteria)
+        data[model_name] = {"original": original, "ranger": with_ranger}
+        for criterion in original:
+            rows.append([model_name, criterion, original[criterion],
+                         with_ranger[criterion]])
+    rendered = render_table(
+        ["model", "criterion", "original SDC %", "Ranger SDC %"], rows,
+        title="Fig. 6 — classifier SDC rates (single bit flip, 32-bit fixed point)")
+    return ExperimentResult(name="fig6_classifier_sdc", paper_reference="Fig. 6",
+                            data=data, rendered=rendered)
+
+
+def run_fig7_steering_sdc(scale: Optional[ExperimentScale] = None,
+                          dave_output_mode: str = "radians"
+                          ) -> ExperimentResult:
+    """Fig. 7: steering-model SDC rates at 15/30/60/120-degree thresholds."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model_name in scale.steering_models:
+        overrides = {}
+        if model_name == "dave":
+            overrides["output_mode"] = dave_output_mode
+        prepared = get_prepared(model_name, scale, **overrides)
+        protected, _ = protect_with_ranger(prepared, scale)
+        criteria = [SteeringDeviation(threshold_degrees=t,
+                                      angle_unit=prepared.model.angle_unit)
+                    for t in STEERING_THRESHOLDS]
+        original, with_ranger = paired_sdc_rates(prepared, protected, scale,
+                                                 criteria=criteria)
+        data[model_name] = {"original": original, "ranger": with_ranger}
+        for criterion in original:
+            rows.append([model_name, criterion, original[criterion],
+                         with_ranger[criterion]])
+    rendered = render_table(
+        ["model", "threshold", "original SDC %", "Ranger SDC %"], rows,
+        title="Fig. 7 — steering-model SDC rates by deviation threshold")
+    return ExperimentResult(name="fig7_steering_sdc", paper_reference="Fig. 7",
+                            data=data, rendered=rendered)
+
+
+def run_fig9_fixed16_sdc(scale: Optional[ExperimentScale] = None
+                         ) -> ExperimentResult:
+    """Fig. 9: SDC rates under the 16-bit (Q14.2) fixed-point datatype."""
+    scale = scale or ExperimentScale()
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for model_name in scale.all_models():
+        prepared = get_prepared(model_name, scale)
+        protected, _ = protect_with_ranger(prepared, scale)
+        original, with_ranger = paired_sdc_rates(
+            prepared, protected, scale,
+            fault_model=SingleBitFlip(FIXED16),
+            dtype_policy=fixed16_policy())
+        # Report the average over the model's criteria (the paper reports
+        # per-model averages in Fig. 9).
+        avg_original = float(np.mean(list(original.values())))
+        avg_ranger = float(np.mean(list(with_ranger.values())))
+        data[model_name] = {"original": avg_original, "ranger": avg_ranger}
+        rows.append([model_name, avg_original, avg_ranger])
+    rendered = render_table(
+        ["model", "original SDC %", "Ranger SDC %"], rows,
+        title="Fig. 9 — SDC rates with the 16-bit fixed-point datatype")
+    return ExperimentResult(name="fig9_fixed16_sdc", paper_reference="Fig. 9",
+                            data=data, rendered=rendered)
+
+
+def _multibit_experiment(model_names: Sequence[str],
+                         scale: ExperimentScale,
+                         bit_counts: Sequence[int]) -> Dict[str, Dict[str, List[float]]]:
+    data: Dict[str, Dict[str, List[float]]] = {}
+    for model_name in model_names:
+        prepared = get_prepared(model_name, scale)
+        protected, _ = protect_with_ranger(prepared, scale)
+        original_series: List[float] = []
+        ranger_series: List[float] = []
+        for bits in bit_counts:
+            original, with_ranger = paired_sdc_rates(
+                prepared, protected, scale,
+                fault_model=MultiBitFlip(num_bits=bits, fmt=FIXED32))
+            original_series.append(float(np.mean(list(original.values()))))
+            ranger_series.append(float(np.mean(list(with_ranger.values()))))
+        data[model_name] = {"original": original_series,
+                            "ranger": ranger_series}
+    return data
+
+
+def run_fig11_multibit_classifiers(scale: Optional[ExperimentScale] = None,
+                                   bit_counts: Sequence[int] = (2, 3, 4, 5),
+                                   models: Optional[Sequence[str]] = None
+                                   ) -> ExperimentResult:
+    """Fig. 11: classifier SDC rates under 2–5 independent bit flips.
+
+    The paper evaluates LeNet and ResNet-18; the default here follows the
+    scale's classifier list restricted to those two when available.
+    """
+    scale = scale or ExperimentScale()
+    if models is None:
+        preferred = [m for m in ("lenet", "resnet18") if m in scale.all_classifiers()]
+        models = preferred or list(scale.classifier_models)[:1]
+    data = _multibit_experiment(models, scale, bit_counts)
+    series = {}
+    for model_name, values in data.items():
+        series[f"{model_name} (original)"] = values["original"]
+        series[f"{model_name} (ranger)"] = values["ranger"]
+    rendered = render_series(series, [f"{b} bit" for b in bit_counts],
+                             title="Fig. 11 — classifier SDC % under multi-bit flips")
+    return ExperimentResult(name="fig11_multibit_classifiers",
+                            paper_reference="Fig. 11",
+                            data={"bit_counts": list(bit_counts), "models": data},
+                            rendered=rendered)
+
+
+def run_fig12_multibit_steering(scale: Optional[ExperimentScale] = None,
+                                bit_counts: Sequence[int] = (2, 3, 4, 5)
+                                ) -> ExperimentResult:
+    """Fig. 12: steering-model SDC rates under 2–5 independent bit flips."""
+    scale = scale or ExperimentScale()
+    data = _multibit_experiment(scale.steering_models, scale, bit_counts)
+    series = {}
+    for model_name, values in data.items():
+        series[f"{model_name} (original)"] = values["original"]
+        series[f"{model_name} (ranger)"] = values["ranger"]
+    rendered = render_series(series, [f"{b} bit" for b in bit_counts],
+                             title="Fig. 12 — steering-model SDC % under multi-bit flips")
+    return ExperimentResult(name="fig12_multibit_steering",
+                            paper_reference="Fig. 12",
+                            data={"bit_counts": list(bit_counts), "models": data},
+                            rendered=rendered)

@@ -1,0 +1,134 @@
+"""Trade-off and design-alternative experiments: Fig. 10, Table V, Sec. VI-C.
+
+* Fig. 10 / Table V — the Dave (degrees-output) model protected with
+  restriction bounds at the 100 / 99.9 / 99 / 98th percentiles: tighter
+  bounds give lower SDC rates at a small accuracy cost.
+* Section VI-C — out-of-bound handling alternatives: clip to the bound
+  (Ranger's choice), reset to zero (degrades accuracy), replace with a random
+  in-range value (keeps accuracy but is non-deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import evaluate_accuracy, render_table
+from ..core import Ranger
+from ..injection.sdc import STEERING_THRESHOLDS, SteeringDeviation
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    get_prepared,
+    paired_sdc_rates,
+)
+
+PERCENTILES = (100.0, 99.9, 99.0, 98.0)
+
+
+def run_fig10_bound_tradeoff(scale: Optional[ExperimentScale] = None,
+                             percentiles: Sequence[float] = PERCENTILES
+                             ) -> ExperimentResult:
+    """Fig. 10 + Table V: Dave (degrees) under different bound percentiles."""
+    scale = scale or ExperimentScale()
+    prepared = get_prepared("dave", scale, output_mode="degrees")
+    sample, _ = prepared.dataset.sample_train(scale.profile_samples,
+                                              seed=scale.seed)
+    criteria = [SteeringDeviation(threshold_degrees=t, angle_unit="degrees")
+                for t in STEERING_THRESHOLDS]
+
+    # Profile once, select bounds at each percentile from the same profile.
+    ranger = Ranger(seed=scale.seed)
+    profile = ranger.profile(prepared.model, sample)
+
+    sdc_rows: List[List] = []
+    accuracy_rows: List[List] = []
+    data: Dict[str, Dict] = {"percentiles": list(percentiles), "sdc": {},
+                             "accuracy": {}}
+
+    baseline_accuracy = evaluate_accuracy(prepared.model,
+                                          prepared.dataset.x_val,
+                                          prepared.dataset.y_val)
+    accuracy_rows.append(["original", baseline_accuracy.rmse_degrees,
+                          baseline_accuracy.avg_deviation_degrees])
+    data["accuracy"]["original"] = baseline_accuracy.as_dict()
+
+    original_rates: Optional[Dict[str, float]] = None
+    for percentile in percentiles:
+        bounds = profile.select_bounds(percentile)
+        protected, _ = ranger.transform(prepared.model, bounds)
+        original, with_ranger = paired_sdc_rates(prepared, protected, scale,
+                                                 criteria=criteria)
+        if original_rates is None:
+            original_rates = original
+            sdc_rows.append(["original"] + [original[c.name] for c in criteria])
+            data["sdc"]["original"] = original
+        label = f"bound-{percentile:g}%"
+        sdc_rows.append([label] + [with_ranger[c.name] for c in criteria])
+        data["sdc"][label] = with_ranger
+
+        accuracy = evaluate_accuracy(protected, prepared.dataset.x_val,
+                                     prepared.dataset.y_val)
+        accuracy_rows.append([label, accuracy.rmse_degrees,
+                              accuracy.avg_deviation_degrees])
+        data["accuracy"][label] = accuracy.as_dict()
+
+    sdc_table = render_table(
+        ["configuration"] + [c.name for c in criteria], sdc_rows,
+        title="Fig. 10 — Dave (degrees) SDC % by restriction-bound percentile")
+    accuracy_table = render_table(
+        ["configuration", "RMSE (deg)", "avg deviation (deg)"], accuracy_rows,
+        title="Table V — Dave (degrees) accuracy by restriction-bound percentile")
+    rendered = sdc_table + "\n\n" + accuracy_table
+    return ExperimentResult(name="fig10_bound_tradeoff",
+                            paper_reference="Fig. 10 / Table V", data=data,
+                            rendered=rendered)
+
+
+def run_sec6c_design_alternatives(scale: Optional[ExperimentScale] = None,
+                                  model_name: str = "vgg16",
+                                  policies: Sequence[str] = ("clip", "zero",
+                                                             "random")
+                                  ) -> ExperimentResult:
+    """Section VI-C: clip vs. zero-reset vs. random replacement policies."""
+    scale = scale or ExperimentScale()
+    if model_name not in scale.all_models():
+        model_name = scale.all_classifiers()[0]
+    prepared = get_prepared(model_name, scale)
+    sample, _ = prepared.dataset.sample_train(scale.profile_samples,
+                                              seed=scale.seed)
+
+    rows: List[List] = []
+    data: Dict[str, Dict[str, float]] = {}
+    baseline_accuracy = evaluate_accuracy(prepared.model,
+                                          prepared.dataset.x_val,
+                                          prepared.dataset.y_val)
+    baseline_top1 = baseline_accuracy.top1 if prepared.model.is_classifier \
+        else baseline_accuracy.rmse_degrees
+
+    for policy in policies:
+        ranger = Ranger(policy=policy, seed=scale.seed)
+        protected, _ = ranger.protect(prepared.model, profile_inputs=sample)
+        original, with_policy = paired_sdc_rates(prepared, protected, scale)
+        accuracy = evaluate_accuracy(protected, prepared.dataset.x_val,
+                                     prepared.dataset.y_val)
+        acc_metric = accuracy.top1 if prepared.model.is_classifier \
+            else accuracy.rmse_degrees
+        avg_original = float(np.mean(list(original.values())))
+        avg_policy = float(np.mean(list(with_policy.values())))
+        data[policy] = {"original_sdc": avg_original, "sdc": avg_policy,
+                        "accuracy": acc_metric,
+                        "baseline_accuracy": baseline_top1}
+        rows.append([policy, avg_original, avg_policy, baseline_top1,
+                     acc_metric])
+
+    metric_name = "top-1 accuracy" if prepared.model.is_classifier else "RMSE (deg)"
+    rendered = render_table(
+        ["policy", "original SDC %", "protected SDC %",
+         f"baseline {metric_name}", f"protected {metric_name}"], rows,
+        title=f"Sec. VI-C — out-of-bound policy alternatives ({model_name})",
+        precision=3)
+    return ExperimentResult(name="sec6c_design_alternatives",
+                            paper_reference="Section VI-C", data=data,
+                            rendered=rendered)

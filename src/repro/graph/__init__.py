@@ -1,0 +1,25 @@
+"""Dataflow-graph substrate (the TensorFlow-analogue the paper instruments)."""
+
+from .graph import Graph, GraphError, Node
+from .executor import (
+    DTypePolicy,
+    ExecutionResult,
+    Executor,
+    Observer,
+    OutputHook,
+    set_training_mode,
+)
+from .builder import GraphBuilder
+
+__all__ = [
+    "DTypePolicy",
+    "ExecutionResult",
+    "Executor",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Node",
+    "Observer",
+    "OutputHook",
+    "set_training_mode",
+]

@@ -1,0 +1,134 @@
+"""GraphBuilder: a layer-level convenience API that emits graph nodes.
+
+Models in :mod:`repro.models` are written against this builder.  Each layer
+call adds the weight variables, the compute operator, the bias, and the
+activation as *separate named nodes*, because that granularity is what both
+the fault injector (inject into any operator output) and Ranger (bound the
+activation outputs and the pooling/reshape/concat operators that follow them)
+operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import ops
+from ..nn.initializers import Initializer, glorot_uniform, zeros
+from .graph import Graph
+
+
+class GraphBuilder:
+    """Builds a model graph layer by layer.
+
+    Parameters
+    ----------
+    name:
+        Graph name.
+    seed:
+        Seed for weight initialization; each builder owns an independent
+        generator so model construction is fully deterministic.
+    """
+
+    def __init__(self, name: str = "model", seed: int = 0) -> None:
+        self.graph = Graph(name=name)
+        self.rng = np.random.default_rng(seed)
+
+    # -- primitives -----------------------------------------------------------
+
+    def input(self, shape: Tuple[int, ...], name: str = "input") -> str:
+        return self.graph.add(name, ops.Placeholder(name=name, shape=shape))
+
+    def variable(self, value: np.ndarray, name: str,
+                 trainable: bool = True) -> str:
+        return self.graph.add(name, ops.Variable(value, trainable=trainable,
+                                                 name=name))
+
+    def constant(self, value: np.ndarray, name: str) -> str:
+        return self.graph.add(name, ops.Constant(value))
+
+    def activation(self, x: str, kind: str, name: str, **kwargs) -> str:
+        return self.graph.add(name, ops.make_activation(kind, **kwargs), [x])
+
+    def output(self, x: str) -> str:
+        self.graph.mark_output(x)
+        return x
+
+    # -- composite layers -------------------------------------------------------
+
+    def conv2d(self, x: str, in_channels: int, out_channels: int,
+               kernel_size: int, name: str, stride: int = 1,
+               padding: str = "same", activation: Optional[str] = "relu",
+               use_bias: bool = True,
+               kernel_init: Initializer = glorot_uniform) -> str:
+        """Convolution + bias + activation, emitted as separate nodes."""
+        kernel_shape = (kernel_size, kernel_size, in_channels, out_channels)
+        kernel = self.variable(kernel_init(self.rng, kernel_shape),
+                               name=f"{name}/kernel")
+        out = self.graph.add(f"{name}/conv",
+                             ops.Conv2D(stride=stride, padding=padding),
+                             [x, kernel])
+        if use_bias:
+            bias = self.variable(zeros(self.rng, (out_channels,)),
+                                 name=f"{name}/bias")
+            out = self.graph.add(f"{name}/bias_add", ops.BiasAdd(), [out, bias])
+        if activation is not None:
+            out = self.activation(out, activation, f"{name}/{activation}")
+        return out
+
+    def dense(self, x: str, in_features: int, out_features: int, name: str,
+              activation: Optional[str] = "relu", use_bias: bool = True,
+              kernel_init: Initializer = glorot_uniform) -> str:
+        """Fully-connected layer + bias + activation."""
+        weight = self.variable(kernel_init(self.rng, (in_features, out_features)),
+                               name=f"{name}/weight")
+        out = self.graph.add(f"{name}/matmul", ops.MatMul(), [x, weight])
+        if use_bias:
+            bias = self.variable(zeros(self.rng, (out_features,)),
+                                 name=f"{name}/bias")
+            out = self.graph.add(f"{name}/bias_add", ops.BiasAdd(), [out, bias])
+        if activation is not None:
+            out = self.activation(out, activation, f"{name}/{activation}")
+        return out
+
+    def max_pool(self, x: str, pool: int, name: str,
+                 stride: Optional[int] = None, padding: str = "valid") -> str:
+        return self.graph.add(name, ops.MaxPool2D(pool=pool, stride=stride,
+                                                  padding=padding), [x])
+
+    def avg_pool(self, x: str, pool: int, name: str,
+                 stride: Optional[int] = None, padding: str = "valid") -> str:
+        return self.graph.add(name, ops.AvgPool2D(pool=pool, stride=stride,
+                                                  padding=padding), [x])
+
+    def global_avg_pool(self, x: str, name: str) -> str:
+        return self.graph.add(name, ops.GlobalAvgPool(), [x])
+
+    def flatten(self, x: str, name: str = "flatten") -> str:
+        return self.graph.add(name, ops.Flatten(), [x])
+
+    def concat(self, xs: Sequence[str], name: str, axis: int = -1) -> str:
+        return self.graph.add(name, ops.Concatenate(axis=axis), list(xs))
+
+    def add(self, a: str, b: str, name: str) -> str:
+        return self.graph.add(name, ops.Add(), [a, b])
+
+    def dropout(self, x: str, rate: float, name: str) -> str:
+        return self.graph.add(name, ops.Dropout(rate=rate,
+                                                seed=int(self.rng.integers(2**31))),
+                              [x])
+
+    def batch_norm(self, x: str, channels: int, name: str) -> str:
+        gamma = self.variable(np.ones(channels), name=f"{name}/gamma")
+        beta = self.variable(np.zeros(channels), name=f"{name}/beta")
+        return self.graph.add(name, ops.BatchNorm(), [x, gamma, beta])
+
+    def local_response_norm(self, x: str, name: str, **kwargs) -> str:
+        return self.graph.add(name, ops.LocalResponseNorm(**kwargs), [x])
+
+    def softmax(self, x: str, name: str = "softmax") -> str:
+        return self.graph.add(name, ops.Softmax(), [x])
+
+    def scale(self, x: str, factor: float, name: str) -> str:
+        return self.graph.add(name, ops.Scale(factor), [x])

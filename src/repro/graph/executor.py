@@ -1,0 +1,201 @@
+"""Graph executor: forward evaluation, hooks, dtype policies, backprop.
+
+The executor is the single place where all of the reproduction's cross-cutting
+concerns meet:
+
+* the **fault injector** registers an output hook that flips bits in exactly
+  one operator's output during one inference;
+* the **profiler** registers an observation hook to collect activation ranges
+  for Ranger's restriction bounds;
+* the **fixed-point datatype policy** quantizes every operator output to the
+  configured Qm.n format, reproducing the paper's 32-bit / 16-bit fixed-point
+  evaluation configurations;
+* the **trainer** runs forward with caching and then backpropagates through
+  the recorded tape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ops.base import Array, Operator, Placeholder, Variable
+from .graph import Graph, GraphError, Node
+
+#: An output hook receives (node, output) and returns a possibly-modified
+#: output array.  Hooks run in registration order after the operator executes.
+OutputHook = Callable[[Node, Array], Array]
+
+#: An observer receives (node, output) and returns nothing.  Observers run
+#: after all output hooks.
+Observer = Callable[[Node, Array], None]
+
+
+class DTypePolicy:
+    """Numeric policy applied to every operator output.
+
+    The default policy is plain float64 (no transformation).  The fixed-point
+    policies in :mod:`repro.quantization` subclass this to round every value
+    to a Qm.n grid with saturation, which is how the paper's "32-bit
+    fixed-point datatype" configuration is modelled.
+    """
+
+    name = "float64"
+
+    def apply(self, node: Node, value: Array) -> Array:
+        return value
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs of one forward pass plus the cached per-node values."""
+
+    outputs: Dict[str, Array]
+    values: Dict[str, Array]
+
+    def output(self, name: Optional[str] = None) -> Array:
+        if name is not None:
+            return self.outputs[name]
+        if len(self.outputs) != 1:
+            raise KeyError(
+                f"graph has {len(self.outputs)} outputs; specify which one")
+        return next(iter(self.outputs.values()))
+
+
+class Executor:
+    """Evaluates a :class:`~repro.graph.graph.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        The graph to execute.
+    dtype_policy:
+        Numeric policy applied to every operator output (see
+        :class:`DTypePolicy`).
+    """
+
+    def __init__(self, graph: Graph,
+                 dtype_policy: Optional[DTypePolicy] = None) -> None:
+        self.graph = graph
+        self.dtype_policy = dtype_policy or DTypePolicy()
+        self._output_hooks: List[OutputHook] = []
+        self._observers: List[Observer] = []
+
+    # -- hook management -----------------------------------------------------
+
+    def add_output_hook(self, hook: OutputHook) -> None:
+        self._output_hooks.append(hook)
+
+    def remove_output_hook(self, hook: OutputHook) -> None:
+        self._output_hooks.remove(hook)
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    def clear_hooks(self) -> None:
+        self._output_hooks.clear()
+        self._observers.clear()
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, feed: Optional[Mapping[str, Array]] = None,
+            outputs: Optional[Sequence[str]] = None) -> ExecutionResult:
+        """Run a forward pass.
+
+        Parameters
+        ----------
+        feed:
+            Mapping from placeholder node names to input arrays.
+        outputs:
+            Node names to report; defaults to the graph's marked outputs.
+        """
+        feed = dict(feed or {})
+        requested = list(outputs) if outputs is not None else list(self.graph.outputs)
+        if not requested:
+            raise GraphError("graph has no outputs and none were requested")
+        values: Dict[str, Array] = {}
+
+        for node in self.graph:
+            if isinstance(node.op, Placeholder):
+                key = node.name
+                if key not in feed:
+                    raise GraphError(
+                        f"no value fed for placeholder '{node.name}'")
+                out = np.asarray(feed[key], dtype=np.float64)
+            else:
+                args = [values[i] for i in node.inputs]
+                out = node.op.forward(*args)
+            out = self.dtype_policy.apply(node, out)
+            for hook in self._output_hooks:
+                out = hook(node, out)
+            for observer in self._observers:
+                observer(node, out)
+            values[node.name] = out
+
+        missing = [name for name in requested if name not in values]
+        if missing:
+            raise GraphError(f"requested outputs not in graph: {missing}")
+        return ExecutionResult(
+            outputs={name: values[name] for name in requested},
+            values=values,
+        )
+
+    # -- training ---------------------------------------------------------------
+
+    def run_with_gradients(self, feed: Mapping[str, Array],
+                           loss_grad: Mapping[str, Array],
+                           ) -> Tuple[ExecutionResult, Dict[str, Array]]:
+        """Forward pass followed by reverse-mode backpropagation.
+
+        Parameters
+        ----------
+        feed:
+            Placeholder values.
+        loss_grad:
+            Mapping from output node names to the gradient of the scalar loss
+            with respect to that output (the trainer computes these from the
+            loss function).
+
+        Returns
+        -------
+        The forward :class:`ExecutionResult` and a dict of gradients keyed by
+        node name.  Gradients for :class:`Variable` nodes are also accumulated
+        into the variables' ``grad`` attribute so optimizers can consume them.
+        """
+        result = self.run(feed, outputs=list(loss_grad.keys()))
+        values = result.values
+        grads: Dict[str, Array] = {
+            name: np.asarray(g, dtype=np.float64) for name, g in loss_grad.items()
+        }
+
+        for node in reversed(self.graph.nodes()):
+            if node.name not in grads:
+                continue
+            grad_out = grads[node.name]
+            if isinstance(node.op, Variable):
+                node.op.accumulate_grad(grad_out)
+                continue
+            if isinstance(node.op, Placeholder):
+                continue
+            inputs = [values[i] for i in node.inputs]
+            input_grads = node.op.backward(grad_out, inputs, values[node.name])
+            for inp_name, inp_grad in zip(node.inputs, input_grads):
+                if inp_grad is None:
+                    continue
+                if inp_name in grads:
+                    grads[inp_name] = grads[inp_name] + inp_grad
+                else:
+                    grads[inp_name] = inp_grad
+        return result, grads
+
+
+def set_training_mode(graph: Graph, training: bool) -> None:
+    """Flip the ``training`` flag on every operator that has one."""
+    for node in graph:
+        if hasattr(node.op, "training"):
+            node.op.training = training

@@ -1,0 +1,199 @@
+"""Dataflow graph: nodes, topological ordering, and graph duplication.
+
+The graph mimics a TensorFlow-1.x static graph in the two ways that matter
+for the Ranger reproduction:
+
+* **Append-only structure.**  Existing nodes are never mutated; protection is
+  applied by *duplicating* the graph and rewiring inputs through an
+  ``input_map`` (the paper uses ``tf.import_graph_def`` with ``input_map`` for
+  exactly this purpose).
+* **Named operator nodes.**  Every node has a unique name and an operator
+  category, which is what the fault injector uses to enumerate injection
+  sites and what Algorithm 1 uses to pick the layers to bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ops.base import Array, Operator, Placeholder, Variable
+
+
+class GraphError(RuntimeError):
+    """Raised for structural problems: duplicate names, cycles, bad wiring."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single named operator in the graph.
+
+    Attributes
+    ----------
+    name:
+        Unique node name, e.g. ``"conv1/relu"``.
+    op:
+        The :class:`~repro.ops.base.Operator` instance evaluated at this node.
+    inputs:
+        Names of the nodes whose outputs feed this operator, in positional
+        order.
+    """
+
+    name: str
+    op: Operator
+    inputs: Tuple[str, ...] = ()
+
+    @property
+    def category(self) -> str:
+        return self.op.category
+
+    @property
+    def injectable(self) -> bool:
+        return self.op.injectable
+
+
+class Graph:
+    """An append-only dataflow graph of named operator nodes."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []
+        self.outputs: List[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, name: str, op: Operator,
+            inputs: Sequence[str] = ()) -> str:
+        """Add a node and return its name.
+
+        Raises :class:`GraphError` if the name already exists or any input
+        refers to a node that has not been added yet (the graph is built in
+        topological order by construction).
+        """
+        if name in self._nodes:
+            raise GraphError(f"node '{name}' already exists in graph '{self.name}'")
+        for inp in inputs:
+            if inp not in self._nodes:
+                raise GraphError(
+                    f"node '{name}' references unknown input '{inp}'")
+        node = Node(name=name, op=op, inputs=tuple(inputs))
+        self._nodes[name] = node
+        self._order.append(name)
+        return name
+
+    def unique_name(self, base: str) -> str:
+        """Return ``base`` or ``base_<k>`` such that the name is unused."""
+        if base not in self._nodes:
+            return base
+        k = 1
+        while f"{base}_{k}" in self._nodes:
+            k += 1
+        return f"{base}_{k}"
+
+    def mark_output(self, name: str) -> None:
+        if name not in self._nodes:
+            raise GraphError(f"cannot mark unknown node '{name}' as output")
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    # -- access ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return (self._nodes[n] for n in self._order)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"unknown node '{name}'") from None
+
+    def nodes(self) -> List[Node]:
+        """All nodes in insertion (topological) order."""
+        return [self._nodes[n] for n in self._order]
+
+    def topological_order(self) -> List[str]:
+        return list(self._order)
+
+    def placeholders(self) -> List[Node]:
+        return [n for n in self if isinstance(n.op, Placeholder)]
+
+    def variables(self) -> List[Variable]:
+        return [n.op for n in self if isinstance(n.op, Variable)]
+
+    def consumers(self, name: str) -> List[Node]:
+        """Nodes that take ``name`` as a direct input."""
+        return [n for n in self if name in n.inputs]
+
+    def num_parameters(self) -> int:
+        return int(sum(v.value.size for v in self.variables()))
+
+    def nodes_by_category(self, category: str) -> List[Node]:
+        return [n for n in self if n.category == category]
+
+    # -- duplication (import_graph_def analogue) -----------------------------
+
+    def duplicate(self, name: Optional[str] = None,
+                  input_map: Optional[Mapping[str, str]] = None,
+                  node_hook: Optional[Callable[["Graph", Node], Optional[str]]] = None,
+                  ) -> "Graph":
+        """Copy this graph node-for-node into a new graph.
+
+        Operator instances are shared between the original and the duplicate
+        (weights are not copied), mirroring ``import_graph_def``.
+
+        Parameters
+        ----------
+        input_map:
+            Optional mapping ``{original_node_name: replacement_node_name}``
+            applied when rewiring inputs in the duplicate.  The replacement
+            name must already exist in the duplicate when it is needed.
+        node_hook:
+            Optional callback invoked *after* each node is copied; it receives
+            the new graph and the just-copied node (in the new graph) and may
+            return a replacement node name to be used by downstream consumers
+            instead of the copied node — this is exactly how Ranger splices
+            range-restriction operators in between existing nodes.
+        """
+        new = Graph(name=name or f"{self.name}_copy")
+        remap: Dict[str, str] = dict(input_map or {})
+        for node in self:
+            wired_inputs = tuple(remap.get(i, i) for i in node.inputs)
+            for inp in wired_inputs:
+                if inp not in new:
+                    raise GraphError(
+                        f"duplicate(): input '{inp}' of node '{node.name}' is "
+                        f"not present in the new graph")
+            new.add(node.name, node.op, wired_inputs)
+            copied = new.node(node.name)
+            if node_hook is not None:
+                replacement = node_hook(new, copied)
+                if replacement is not None:
+                    if replacement not in new:
+                        raise GraphError(
+                            f"node_hook returned unknown replacement "
+                            f"'{replacement}' for node '{node.name}'")
+                    remap[node.name] = replacement
+        for out in self.outputs:
+            new.mark_output(remap.get(out, out))
+        return new
+
+    # -- summaries -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable, one-line-per-node description of the graph."""
+        lines = [f"Graph '{self.name}': {len(self)} nodes, "
+                 f"{self.num_parameters()} parameters"]
+        for node in self:
+            inputs = ", ".join(node.inputs) if node.inputs else "-"
+            lines.append(f"  {node.name:40s} {type(node.op).__name__:20s} "
+                         f"<- {inputs}")
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Fault injection: fault models, the injector, SDC criteria, and campaigns."""
+
+from .campaign import CampaignResult, FaultInjectionCampaign, compare_protection
+from .fault_models import (
+    ConsecutiveBitFlip,
+    FaultModel,
+    FaultSpec,
+    MultiBitFlip,
+    RandomValueFault,
+    SingleBitFlip,
+    StuckAtZeroFault,
+)
+from .injector import (
+    FaultInjector,
+    InjectionError,
+    InjectionPlan,
+    downstream_nodes,
+    last_layer_exclusions,
+)
+from .sdc import (
+    STEERING_THRESHOLDS,
+    SDCCriterion,
+    SteeringDeviation,
+    TopKMisclassification,
+    criteria_for_model,
+)
+
+__all__ = [
+    "CampaignResult",
+    "ConsecutiveBitFlip",
+    "FaultInjectionCampaign",
+    "FaultInjector",
+    "FaultModel",
+    "FaultSpec",
+    "InjectionError",
+    "InjectionPlan",
+    "MultiBitFlip",
+    "RandomValueFault",
+    "STEERING_THRESHOLDS",
+    "SDCCriterion",
+    "SingleBitFlip",
+    "SteeringDeviation",
+    "StuckAtZeroFault",
+    "TopKMisclassification",
+    "compare_protection",
+    "criteria_for_model",
+    "downstream_nodes",
+    "last_layer_exclusions",
+]

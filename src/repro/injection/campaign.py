@@ -1,0 +1,196 @@
+"""Fault-injection campaigns and SDC-rate statistics.
+
+A campaign reproduces the paper's experimental procedure:
+
+1. pick a set of inputs the model handles correctly in the fault-free case;
+2. record the fault-free ("golden") output for each input;
+3. for each trial, pick an input, sample a random fault site, run one faulty
+   inference, and classify the outcome against every SDC criterion;
+4. report the SDC rate per criterion with a 95% confidence interval.
+
+The same sequence of faults can be replayed against a protected model (Ranger
+or a baseline) so the with/without comparison is paired, which substantially
+reduces the variance of the measured SDC-rate *difference* at laptop-scale
+trial counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import DTypePolicy, Executor
+from ..models.base import Model
+from .fault_models import FaultModel, FaultSpec, SingleBitFlip
+from .injector import FaultInjector, InjectionPlan
+from .sdc import SDCCriterion, criteria_for_model
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one fault-injection campaign."""
+
+    model_name: str
+    fault_model: str
+    trials: int
+    sdc_counts: Dict[str, int]
+    detected_count: int = 0
+    faults: List[List[FaultSpec]] = field(default_factory=list)
+
+    def sdc_rate(self, criterion: str) -> float:
+        """SDC rate (fraction in [0, 1]) for one criterion."""
+        if self.trials == 0:
+            return 0.0
+        return self.sdc_counts[criterion] / self.trials
+
+    def sdc_rate_percent(self, criterion: str) -> float:
+        return 100.0 * self.sdc_rate(criterion)
+
+    def confidence_interval(self, criterion: str,
+                            z: float = 1.96) -> Tuple[float, float]:
+        """95% normal-approximation confidence interval on the SDC rate."""
+        p = self.sdc_rate(criterion)
+        if self.trials == 0:
+            return 0.0, 0.0
+        half = z * np.sqrt(max(p * (1.0 - p), 1e-12) / self.trials)
+        return max(0.0, p - half), min(1.0, p + half)
+
+    def error_bar_percent(self, criterion: str, z: float = 1.96) -> float:
+        low, high = self.confidence_interval(criterion, z)
+        return 100.0 * (high - low) / 2.0
+
+    @property
+    def criteria(self) -> List[str]:
+        return list(self.sdc_counts.keys())
+
+    def summary(self) -> str:
+        lines = [f"{self.model_name} [{self.fault_model}] — {self.trials} trials"]
+        for criterion in self.criteria:
+            lines.append(
+                f"  {criterion:20s} SDC rate = "
+                f"{self.sdc_rate_percent(criterion):6.2f}% "
+                f"(± {self.error_bar_percent(criterion):.2f}%)")
+        return "\n".join(lines)
+
+
+class FaultInjectionCampaign:
+    """Runs a fault-injection campaign against one model.
+
+    Parameters
+    ----------
+    model:
+        The model under test.
+    inputs:
+        Array of evaluation inputs (the paper uses inputs the model predicts
+        correctly in the fault-free case; see
+        ``PreparedModel.correctly_predicted_inputs``).
+    fault_model:
+        The fault model to apply (defaults to a 32-bit fixed-point single bit
+        flip).
+    criteria:
+        SDC criteria; defaults to the model-appropriate set.
+    dtype_policy:
+        Optional executor dtype policy (e.g. a fixed-point policy).
+    """
+
+    def __init__(self, model: Model, inputs: np.ndarray,
+                 fault_model: Optional[FaultModel] = None,
+                 criteria: Optional[Sequence[SDCCriterion]] = None,
+                 dtype_policy: Optional[DTypePolicy] = None,
+                 seed: int = 0) -> None:
+        if len(inputs) == 0:
+            raise ValueError("campaign requires at least one evaluation input")
+        self.model = model
+        self.inputs = np.asarray(inputs)
+        self.fault_model = fault_model or SingleBitFlip()
+        self.criteria = list(criteria if criteria is not None
+                             else criteria_for_model(model))
+        if not self.criteria:
+            raise ValueError("campaign requires at least one SDC criterion")
+        self.dtype_policy = dtype_policy
+        self.seed = seed
+        self.injector = FaultInjector(model, self.fault_model, seed=seed)
+        self._executor = model.executor(dtype_policy)
+        self.injector.profile_state_space(self.inputs[:1], self._executor)
+        self._golden = self._compute_golden_outputs()
+
+    # -- setup ------------------------------------------------------------------
+
+    def _compute_golden_outputs(self) -> List[np.ndarray]:
+        golden = []
+        for i in range(len(self.inputs)):
+            batch = self.inputs[i:i + 1]
+            result = self._executor.run({self.model.input_name: batch},
+                                        outputs=[self.model.output_name])
+            golden.append(result.output(self.model.output_name))
+        return golden
+
+    # -- plan generation -----------------------------------------------------------
+
+    def generate_plans(self, trials: int
+                       ) -> List[Tuple[int, InjectionPlan]]:
+        """Pre-sample (input index, injection plan) pairs for ``trials`` runs.
+
+        Sharing the returned list between the unprotected and protected
+        campaigns makes the comparison paired.
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        plans = []
+        for _ in range(trials):
+            input_index = int(rng.integers(len(self.inputs)))
+            plans.append((input_index, self.injector.sample_plan()))
+        return plans
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, trials: int = 100,
+            plans: Optional[List[Tuple[int, InjectionPlan]]] = None,
+            keep_faults: bool = False) -> CampaignResult:
+        """Run the campaign and return aggregated SDC statistics."""
+        if trials <= 0 and plans is None:
+            raise ValueError("trials must be positive")
+        if plans is None:
+            plans = self.generate_plans(trials)
+        sdc_counts = {criterion.name: 0 for criterion in self.criteria}
+        fault_log: List[List[FaultSpec]] = []
+
+        for input_index, plan in plans:
+            batch = self.inputs[input_index:input_index + 1]
+            golden = self._golden[input_index]
+            faulty, faults = self.injector.inject(self._executor, batch, plan)
+            for criterion in self.criteria:
+                if criterion.is_sdc(golden, faulty):
+                    sdc_counts[criterion.name] += 1
+            if keep_faults:
+                fault_log.append(faults)
+
+        return CampaignResult(model_name=self.model.name,
+                              fault_model=self.fault_model.describe(),
+                              trials=len(plans), sdc_counts=sdc_counts,
+                              faults=fault_log)
+
+
+def compare_protection(unprotected: Model, protected: Model,
+                       inputs: np.ndarray,
+                       fault_model: Optional[FaultModel] = None,
+                       criteria: Optional[Sequence[SDCCriterion]] = None,
+                       dtype_policy: Optional[DTypePolicy] = None,
+                       trials: int = 100, seed: int = 0
+                       ) -> Tuple[CampaignResult, CampaignResult]:
+    """Run paired campaigns on an unprotected model and a protected variant.
+
+    The same fault plans (same input, same node, same element, same bit
+    sequence) are replayed on both graphs — possible because protection
+    transforms keep the original node names — so any difference in SDC rate
+    is attributable to the protection.
+    """
+    base = FaultInjectionCampaign(unprotected, inputs, fault_model=fault_model,
+                                  criteria=criteria, dtype_policy=dtype_policy,
+                                  seed=seed)
+    guarded = FaultInjectionCampaign(protected, inputs, fault_model=fault_model,
+                                     criteria=criteria,
+                                     dtype_policy=dtype_policy, seed=seed)
+    plans = base.generate_plans(trials)
+    return base.run(plans=plans), guarded.run(plans=plans)

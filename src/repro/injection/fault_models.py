@@ -1,0 +1,170 @@
+"""Fault models: how a transient hardware fault corrupts an operator output.
+
+The paper's primary fault model is a **single bit flip** in the output value
+of one randomly chosen operator during one inference (Section II-C), with the
+values held in a fixed-point representation.  Section VI-B additionally
+evaluates **multiple independent bit flips** (2–5 bits, each in a different
+randomly chosen value).  This module also provides an IEEE-754 float32 flip
+and a bounded random-value replacement used in ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..quantization import FIXED32, FixedPointFormat, flip_float32_bit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Where and how a single corruption lands.
+
+    Attributes
+    ----------
+    node_name:
+        Graph node whose output is corrupted.
+    element_index:
+        Flat index of the corrupted element within that output tensor.
+    bit:
+        Bit position flipped (``None`` for non-bit-flip fault models).
+    original:
+        The fault-free value at the site.
+    corrupted:
+        The value written back by the fault.
+    """
+
+    node_name: str
+    element_index: int
+    bit: Optional[int]
+    original: float
+    corrupted: float
+
+
+class FaultModel:
+    """Base class: produces corrupted values and descriptions of each fault."""
+
+    #: How many distinct (node, element) sites one "fault event" corrupts.
+    sites_per_event: int = 1
+
+    def corrupt(self, value: float, rng: np.random.Generator
+                ) -> Tuple[float, Optional[int]]:
+        """Return ``(corrupted_value, bit_position_or_None)``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class SingleBitFlip(FaultModel):
+    """Flip one uniformly-chosen bit of the value's representation.
+
+    Parameters
+    ----------
+    fmt:
+        A :class:`FixedPointFormat` (the paper's configuration), or the
+        string ``"float32"`` for the IEEE-754 ablation.
+    """
+
+    def __init__(self, fmt: FixedPointFormat | str = FIXED32) -> None:
+        self.fmt = fmt
+
+    @property
+    def total_bits(self) -> int:
+        return 32 if self.fmt == "float32" else self.fmt.total_bits
+
+    def corrupt(self, value: float, rng: np.random.Generator
+                ) -> Tuple[float, Optional[int]]:
+        bit = int(rng.integers(self.total_bits))
+        if self.fmt == "float32":
+            return flip_float32_bit(value, bit), bit
+        return self.fmt.flip_bit(value, bit), bit
+
+    def describe(self) -> str:
+        kind = "float32" if self.fmt == "float32" else f"fixed{self.total_bits}"
+        return f"single-bit-flip[{kind}]"
+
+
+class MultiBitFlip(FaultModel):
+    """Multiple independent bit flips, each landing in a *different* value.
+
+    This is the Section VI-B fault model: ``num_bits`` independent flips that
+    each corrupt a separate randomly chosen value, which the paper argues is
+    the more damaging variant (more values affected) and therefore the
+    conservative choice.
+    """
+
+    def __init__(self, num_bits: int,
+                 fmt: FixedPointFormat | str = FIXED32) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        self.num_bits = int(num_bits)
+        self.single = SingleBitFlip(fmt)
+        self.sites_per_event = self.num_bits
+
+    def corrupt(self, value: float, rng: np.random.Generator
+                ) -> Tuple[float, Optional[int]]:
+        return self.single.corrupt(value, rng)
+
+    def describe(self) -> str:
+        return f"multi-bit-flip[{self.num_bits} x {self.single.describe()}]"
+
+
+class ConsecutiveBitFlip(FaultModel):
+    """``num_bits`` consecutive bit flips within the same value.
+
+    The alternative multi-bit model mentioned in Section VI-B; provided for
+    completeness and used by the ablation benchmarks.
+    """
+
+    def __init__(self, num_bits: int,
+                 fmt: FixedPointFormat = FIXED32) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        if isinstance(fmt, str):
+            raise ValueError("consecutive flips require a fixed-point format")
+        self.num_bits = int(num_bits)
+        self.fmt = fmt
+
+    def corrupt(self, value: float, rng: np.random.Generator
+                ) -> Tuple[float, Optional[int]]:
+        start = int(rng.integers(self.fmt.total_bits - self.num_bits + 1))
+        bits = list(range(start, start + self.num_bits))
+        return self.fmt.flip_bits(value, bits), start
+
+    def describe(self) -> str:
+        return f"consecutive-bit-flip[{self.num_bits} bits]"
+
+
+class RandomValueFault(FaultModel):
+    """Replace the value with a uniform random draw from ``[low, high]``.
+
+    Used by ablation experiments (e.g. studying how Ranger behaves when the
+    corruption magnitude is controlled directly rather than via bit position).
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if low > high:
+            raise ValueError(f"low ({low}) must not exceed high ({high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def corrupt(self, value: float, rng: np.random.Generator
+                ) -> Tuple[float, Optional[int]]:
+        return float(rng.uniform(self.low, self.high)), None
+
+    def describe(self) -> str:
+        return f"random-value[{self.low}, {self.high}]"
+
+
+class StuckAtZeroFault(FaultModel):
+    """Force the value to zero — models a broken neuron connection."""
+
+    def corrupt(self, value: float, rng: np.random.Generator
+                ) -> Tuple[float, Optional[int]]:
+        return 0.0, None
+
+    def describe(self) -> str:
+        return "stuck-at-zero"

@@ -1,0 +1,261 @@
+"""Fault injector: corrupts one operator output during one inference.
+
+This is the reproduction's TensorFI analogue.  The injector
+
+1. profiles the graph once to learn every injectable node's output size (the
+   "state space" of each operator),
+2. samples injection sites with probability proportional to that state space
+   (a random transient fault is more likely to land in a larger tensor), and
+3. installs an executor output hook that applies the configured
+   :class:`~repro.injection.fault_models.FaultModel` at the chosen site(s)
+   during the next forward pass.
+
+The last fully-connected layer (and everything downstream of it) is excluded
+from injection by default, mirroring the paper's setup: faults there are
+directly output-coupled and the paper protects that layer by duplication
+instead (its state space is a negligible fraction of the total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graph import Executor, Graph, Node
+from ..models.base import Model
+from .fault_models import FaultModel, FaultSpec
+
+
+class InjectionError(RuntimeError):
+    """Raised when the injector cannot find a legal injection site."""
+
+
+def downstream_nodes(graph: Graph, start: str) -> Set[str]:
+    """All nodes reachable from ``start`` (including ``start`` itself)."""
+    reached = {start}
+    changed = True
+    while changed:
+        changed = False
+        for node in graph:
+            if node.name in reached:
+                continue
+            if any(inp in reached for inp in node.inputs):
+                reached.add(node.name)
+                changed = True
+    return reached
+
+
+def last_layer_exclusions(model: Model) -> Set[str]:
+    """Nodes excluded from injection for a model: the last FC layer onward.
+
+    The logits node marks the output of the final fully-connected layer; we
+    exclude that node's layer (its matmul and bias-add) plus everything
+    downstream (softmax / output heads), matching the paper's "we exclude the
+    last FC layer" policy.
+    """
+    graph = model.graph
+    excluded = downstream_nodes(graph, model.logits_name)
+    # Walk back over the bias-add / matmul pair that produced the logits so
+    # the whole final layer is excluded, not just its output node.
+    frontier = [model.logits_name]
+    while frontier:
+        name = frontier.pop()
+        node = graph.node(name)
+        if type(node.op).__name__ in ("BiasAdd", "MatMul", "Identity"):
+            excluded.add(name)
+            frontier.extend(node.inputs)
+    return excluded
+
+
+@dataclass
+class InjectionPlan:
+    """A concrete set of (node, element, ...) sites chosen for one trial."""
+
+    sites: List[Tuple[str, int]]
+
+    def node_names(self) -> Set[str]:
+        return {name for name, _ in self.sites}
+
+
+class FaultInjector:
+    """Samples injection sites and applies faults through executor hooks.
+
+    Parameters
+    ----------
+    model:
+        The model under test (its graph defines the injectable state space).
+    fault_model:
+        The corruption to apply at each chosen site.
+    exclude_nodes:
+        Extra node names to exclude.  The last-FC-layer exclusion is always
+        applied; pass ``exclude_last_layer=False`` to disable it.
+    include_categories:
+        Node categories eligible for injection.  Defaults to every
+        computational category (compute, activation, pooling, reshape,
+        concat, normalization).  Protection nodes inserted by Ranger are
+        *never* injected: Ranger corrects faults that occur in the
+        computation it guards; faults inside the tiny comparison operators
+        themselves are outside the paper's fault model.
+    """
+
+    DEFAULT_CATEGORIES = {"compute", "activation", "pooling", "reshape",
+                          "concat", "normalization"}
+
+    def __init__(self, model: Model, fault_model: FaultModel,
+                 exclude_nodes: Optional[Set[str]] = None,
+                 include_categories: Optional[Set[str]] = None,
+                 exclude_last_layer: bool = True,
+                 seed: int = 0) -> None:
+        self.model = model
+        self.fault_model = fault_model
+        self.rng = np.random.default_rng(seed)
+        self.include_categories = set(include_categories
+                                      or self.DEFAULT_CATEGORIES)
+        excluded = set(exclude_nodes or ())
+        if exclude_last_layer:
+            excluded |= last_layer_exclusions(model)
+        self.excluded_nodes = excluded
+        self._site_sizes: Optional[Dict[str, int]] = None
+
+    # -- state-space profiling ---------------------------------------------------
+
+    def profile_state_space(self, sample_input: np.ndarray,
+                            executor: Optional[Executor] = None) -> Dict[str, int]:
+        """Measure each injectable node's output element count.
+
+        ``sample_input`` must be a single-example batch (shape ``(1, ...)``)
+        so the recorded sizes correspond to one inference.
+        """
+        ex = executor or self.model.executor()
+        sizes: Dict[str, int] = {}
+
+        def observer(node: Node, output: np.ndarray) -> None:
+            if self._is_injectable(node):
+                sizes[node.name] = int(np.asarray(output).size)
+
+        ex.add_observer(observer)
+        try:
+            ex.run({self.model.input_name: sample_input},
+                   outputs=[self.model.output_name])
+        finally:
+            ex.remove_observer(observer)
+        if not sizes:
+            raise InjectionError("no injectable nodes found in the graph")
+        self._site_sizes = sizes
+        return dict(sizes)
+
+    def _is_injectable(self, node: Node) -> bool:
+        return (node.injectable
+                and node.category in self.include_categories
+                and node.name not in self.excluded_nodes)
+
+    @property
+    def state_space_size(self) -> int:
+        """Total number of injectable values per inference."""
+        if self._site_sizes is None:
+            raise InjectionError("call profile_state_space() first")
+        return int(sum(self._site_sizes.values()))
+
+    # -- site sampling --------------------------------------------------------------
+
+    def sample_plan(self) -> InjectionPlan:
+        """Choose the (node, element) sites for one fault event.
+
+        Nodes are chosen with probability proportional to their output size so
+        that every value in the injectable state space is equally likely to be
+        hit, which is the paper's random-fault assumption.
+        """
+        if self._site_sizes is None:
+            raise InjectionError("call profile_state_space() first")
+        names = list(self._site_sizes.keys())
+        sizes = np.array([self._site_sizes[n] for n in names], dtype=np.float64)
+        probs = sizes / sizes.sum()
+        sites: List[Tuple[str, int]] = []
+        for _ in range(self.fault_model.sites_per_event):
+            node_name = names[int(self.rng.choice(len(names), p=probs))]
+            element = int(self.rng.integers(self._site_sizes[node_name]))
+            sites.append((node_name, element))
+        return InjectionPlan(sites=sites)
+
+    # -- injection -------------------------------------------------------------------
+
+    def inject(self, executor: Executor, inputs: np.ndarray,
+               plan: Optional[InjectionPlan] = None,
+               ) -> Tuple[np.ndarray, List[FaultSpec]]:
+        """Run one faulty inference and return (output, applied faults).
+
+        The executor should belong to the same (or an equivalently-named)
+        graph; Ranger-protected graphs keep original node names, so a plan
+        sampled on the unprotected model can be replayed on the protected one
+        — that is exactly how the with/without-Ranger comparison keeps the
+        fault sequence identical.
+        """
+        plan = plan or self.sample_plan()
+        pending: Dict[str, List[int]] = {}
+        for node_name, element in plan.sites:
+            pending.setdefault(node_name, []).append(element)
+        applied: List[FaultSpec] = []
+
+        def hook(node: Node, output: np.ndarray) -> np.ndarray:
+            if node.name not in pending:
+                return output
+            corrupted = np.array(output, dtype=np.float64, copy=True)
+            flat = corrupted.reshape(-1)
+            for element in pending[node.name]:
+                index = element % flat.size
+                original = float(flat[index])
+                new_value, bit = self.fault_model.corrupt(original, self.rng)
+                flat[index] = new_value
+                applied.append(FaultSpec(node_name=node.name,
+                                         element_index=index, bit=bit,
+                                         original=original,
+                                         corrupted=new_value))
+            return corrupted
+
+        executor.add_output_hook(hook)
+        try:
+            result = executor.run({self.model.input_name: inputs},
+                                  outputs=[self.model.output_name])
+        finally:
+            executor.remove_output_hook(hook)
+        return result.output(self.model.output_name), applied
+
+    def inject_full(self, executor: Executor, inputs: np.ndarray,
+                    plan: Optional[InjectionPlan] = None):
+        """Like :meth:`inject` but also returns every node's (faulty) output.
+
+        Detection-style baselines (symptom detectors, ABFT checksums) need to
+        inspect intermediate values of the faulty execution; this variant
+        returns ``(ExecutionResult, applied_faults)`` so they can.
+        """
+        plan = plan or self.sample_plan()
+        pending: Dict[str, List[int]] = {}
+        for node_name, element in plan.sites:
+            pending.setdefault(node_name, []).append(element)
+        applied: List[FaultSpec] = []
+
+        def hook(node: Node, output: np.ndarray) -> np.ndarray:
+            if node.name not in pending:
+                return output
+            corrupted = np.array(output, dtype=np.float64, copy=True)
+            flat = corrupted.reshape(-1)
+            for element in pending[node.name]:
+                index = element % flat.size
+                original = float(flat[index])
+                new_value, bit = self.fault_model.corrupt(original, self.rng)
+                flat[index] = new_value
+                applied.append(FaultSpec(node_name=node.name,
+                                         element_index=index, bit=bit,
+                                         original=original,
+                                         corrupted=new_value))
+            return corrupted
+
+        executor.add_output_hook(hook)
+        try:
+            result = executor.run({self.model.input_name: inputs},
+                                  outputs=[self.model.output_name])
+        finally:
+            executor.remove_output_hook(hook)
+        return result, applied

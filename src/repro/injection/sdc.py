@@ -1,0 +1,106 @@
+"""SDC (silent data corruption) criteria.
+
+The paper classifies a faulty run as an SDC when the program's output deviates
+from the fault-free output in a way that matters for the task:
+
+* **Classifiers** — the predicted label changes (top-1), or the correct label
+  drops out of the top-5 predictions (for the ImageNet models the paper
+  reports both).
+* **Steering models** — the predicted steering angle deviates from the
+  fault-free angle by more than a threshold; the paper uses 15, 30, 60 and
+  120 degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.driving import degrees_from_output
+
+#: The steering-angle deviation thresholds (degrees) used throughout the
+#: paper's AV-model evaluation.
+STEERING_THRESHOLDS = (15.0, 30.0, 60.0, 120.0)
+
+
+class SDCCriterion:
+    """Decides whether a faulty output constitutes an SDC."""
+
+    name = "sdc"
+
+    def is_sdc(self, golden: np.ndarray, faulty: np.ndarray) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class TopKMisclassification(SDCCriterion):
+    """SDC when the golden top-1 label leaves the faulty top-k predictions.
+
+    With ``k=1`` this is plain misclassification relative to the fault-free
+    run; with ``k=5`` it is the top-5 criterion used for the ImageNet models.
+    Outputs are class-probability (or logit) vectors of shape
+    ``(1, num_classes)``.
+    """
+
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be positive, got {self.k}")
+        self.name = f"top{self.k}"
+
+    def is_sdc(self, golden: np.ndarray, faulty: np.ndarray) -> bool:
+        golden = np.asarray(golden).reshape(-1)
+        faulty = np.asarray(faulty).reshape(-1)
+        golden_label = int(np.argmax(golden))
+        if self.k == 1:
+            return int(np.argmax(faulty)) != golden_label
+        top_k = np.argsort(faulty)[::-1][:self.k]
+        return golden_label not in top_k
+
+
+@dataclass
+class SteeringDeviation(SDCCriterion):
+    """SDC when the steering angle deviates by more than ``threshold`` degrees.
+
+    ``angle_unit`` describes the unit of the model's output so the deviation
+    can always be thresholded in degrees (the paper's thresholds are 15, 30,
+    60 and 120 degrees regardless of the model's native unit).
+    """
+
+    threshold_degrees: float = 15.0
+    angle_unit: str = "degrees"
+
+    def __post_init__(self) -> None:
+        if self.threshold_degrees <= 0:
+            raise ValueError("threshold must be positive")
+        self.name = f"steering>{self.threshold_degrees:g}deg"
+
+    def deviation_degrees(self, golden: np.ndarray, faulty: np.ndarray) -> float:
+        golden_deg = degrees_from_output(np.asarray(golden).reshape(-1),
+                                         self.angle_unit)
+        faulty_deg = degrees_from_output(np.asarray(faulty).reshape(-1),
+                                         self.angle_unit)
+        return float(np.max(np.abs(golden_deg - faulty_deg)))
+
+    def is_sdc(self, golden: np.ndarray, faulty: np.ndarray) -> bool:
+        deviation = self.deviation_degrees(golden, faulty)
+        if not np.isfinite(deviation):
+            return True
+        return deviation > self.threshold_degrees
+
+
+def criteria_for_model(model, thresholds: Sequence[float] = STEERING_THRESHOLDS,
+                       top_k: Sequence[int] = (1,)) -> list:
+    """The default list of SDC criteria to evaluate for a model.
+
+    Classifiers get one criterion per requested ``top_k``; steering models get
+    one :class:`SteeringDeviation` per threshold.
+    """
+    if model.task == "classification":
+        return [TopKMisclassification(k=k) for k in top_k]
+    return [SteeringDeviation(threshold_degrees=t,
+                              angle_unit=model.angle_unit or "degrees")
+            for t in thresholds]

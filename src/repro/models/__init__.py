@@ -1,0 +1,37 @@
+"""Model zoo: the eight DNNs of the paper's evaluation (Table I)."""
+
+from .base import Model, scaled
+from .classifiers import build_alexnet, build_lenet, build_vgg11, build_vgg16
+from .registry import (
+    ALL_MODELS,
+    CLASSIFIER_MODELS,
+    MODEL_BUILDERS,
+    STEERING_MODELS,
+    build_model,
+)
+from .resnet import build_resnet18
+from .squeezenet import build_squeezenet
+from .steering import build_comma, build_dave
+from .zoo import PreparedModel, clear_cache, dataset_for_model, prepare_model
+
+__all__ = [
+    "ALL_MODELS",
+    "CLASSIFIER_MODELS",
+    "MODEL_BUILDERS",
+    "Model",
+    "PreparedModel",
+    "STEERING_MODELS",
+    "build_alexnet",
+    "build_comma",
+    "build_dave",
+    "build_lenet",
+    "build_model",
+    "build_resnet18",
+    "build_squeezenet",
+    "build_vgg11",
+    "build_vgg16",
+    "clear_cache",
+    "dataset_for_model",
+    "prepare_model",
+    "scaled",
+]

@@ -1,0 +1,113 @@
+"""Model wrapper and shared configuration for the model zoo.
+
+A :class:`Model` bundles the dataflow graph with the node names the rest of
+the system needs (input placeholder, pre-softmax logits, final output), plus
+metadata used by the experiments (task type, activation function, which
+dataset it is trained on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..graph import DTypePolicy, Executor, Graph
+
+
+@dataclass
+class Model:
+    """A built (possibly trained) DNN.
+
+    Attributes
+    ----------
+    name:
+        Model identifier (``lenet``, ``alexnet``, ``vgg11``, ``vgg16``,
+        ``resnet18``, ``squeezenet``, ``dave``, ``comma``).
+    graph:
+        The model's dataflow graph.
+    input_name:
+        Name of the input placeholder node.
+    logits_name:
+        Node producing the pre-softmax logits (classifiers) or the raw
+        regression output (steering models).  This is the node the trainer
+        attaches the loss to and the node the paper excludes from protection
+        ("we exclude the last FC layer").
+    output_name:
+        Node producing the user-facing output (softmax probabilities or the
+        steering angle).
+    task:
+        ``"classification"`` or ``"regression"``.
+    activation:
+        Name of the dominant hidden activation function (``relu``, ``tanh``,
+        ``elu``); used by the Hong et al. baseline and by Ranger's profiler.
+    dataset:
+        Name of the dataset the model is meant to be trained on.
+    angle_unit:
+        For steering models: ``"degrees"`` or ``"radians"``.
+    config:
+        Free-form architecture parameters (width scale, input size, ...).
+    """
+
+    name: str
+    graph: Graph
+    input_name: str
+    logits_name: str
+    output_name: str
+    task: str
+    activation: str
+    dataset: str
+    angle_unit: Optional[str] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def executor(self, dtype_policy: Optional[DTypePolicy] = None) -> Executor:
+        """A fresh executor for this model's graph."""
+        return Executor(self.graph, dtype_policy=dtype_policy)
+
+    def predict(self, inputs: np.ndarray,
+                dtype_policy: Optional[DTypePolicy] = None,
+                executor: Optional[Executor] = None) -> np.ndarray:
+        """Run a forward pass and return the user-facing output."""
+        ex = executor or self.executor(dtype_policy)
+        result = ex.run({self.input_name: inputs}, outputs=[self.output_name])
+        return result.output(self.output_name)
+
+    def predict_logits(self, inputs: np.ndarray,
+                       dtype_policy: Optional[DTypePolicy] = None) -> np.ndarray:
+        """Run a forward pass and return the pre-softmax / raw output."""
+        ex = self.executor(dtype_policy)
+        result = ex.run({self.input_name: inputs}, outputs=[self.logits_name])
+        return result.output(self.logits_name)
+
+    def with_graph(self, graph: Graph, suffix: str = "protected") -> "Model":
+        """A copy of this model description pointing at a transformed graph.
+
+        Used by Ranger and the baselines, whose graph transformations keep
+        node names stable (they only splice new nodes in between).
+        """
+        return Model(
+            name=f"{self.name}_{suffix}",
+            graph=graph,
+            input_name=self.input_name,
+            logits_name=self.logits_name,
+            output_name=self.output_name,
+            task=self.task,
+            activation=self.activation,
+            dataset=self.dataset,
+            angle_unit=self.angle_unit,
+            config=dict(self.config),
+        )
+
+    @property
+    def is_classifier(self) -> bool:
+        return self.task == "classification"
+
+    @property
+    def num_parameters(self) -> int:
+        return self.graph.num_parameters()
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a channel/unit count, keeping it at least ``minimum``."""
+    return max(minimum, int(round(value * scale)))

@@ -1,0 +1,174 @@
+"""Classifier architectures: LeNet, AlexNet, VGG-11, VGG-16.
+
+Each builder reproduces the layer sequence of the named architecture while
+exposing two scale knobs so the reproduction runs on a laptop:
+
+* ``width_scale`` multiplies every channel / unit count;
+* ``input_shape`` sets the image size (pooling layers are skipped when the
+  spatial size can no longer be halved, so the same code path supports both
+  paper-sized and reduced inputs).
+
+The layer granularity (separate conv / bias / activation / pooling nodes) is
+what Ranger's Algorithm 1 and the fault injector operate on, so it is kept
+faithful to the TensorFlow graphs the paper instruments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..ops.conv import conv_output_size
+from .base import Model, scaled
+
+
+def _pool_if_possible(builder: GraphBuilder, node: str, h: int, w: int,
+                      name: str, pool: int = 2) -> Tuple[str, int, int]:
+    """Apply max pooling when the spatial size allows it."""
+    if h >= pool and w >= pool:
+        node = builder.max_pool(node, pool, name=name)
+        return node, h // pool, w // pool
+    return node, h, w
+
+
+def build_lenet(input_shape: Tuple[int, int, int] = (20, 20, 1),
+                num_classes: int = 10, width_scale: float = 1.0,
+                activation: str = "relu", seed: int = 10,
+                name: str = "lenet") -> Model:
+    """LeNet-5: two conv+pool stages followed by three dense layers."""
+    h, w, c = input_shape
+    b = GraphBuilder(name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    c1 = scaled(6, width_scale)
+    node = b.conv2d(x, c, c1, 5, name="conv1", activation=activation)
+    node, h, w = _pool_if_possible(b, node, h, w, "pool1")
+
+    c2 = scaled(16, width_scale)
+    node = b.conv2d(node, c1, c2, 5, name="conv2", activation=activation)
+    node, h, w = _pool_if_possible(b, node, h, w, "pool2")
+
+    node = b.flatten(node, "flatten")
+    features = h * w * c2
+    node = b.dense(node, features, scaled(120, width_scale), name="fc1",
+                   activation=activation)
+    node = b.dense(node, scaled(120, width_scale), scaled(84, width_scale),
+                   name="fc2", activation=activation)
+    logits = b.dense(node, scaled(84, width_scale), num_classes, name="fc3",
+                     activation=None)
+    probs = b.softmax(logits, "softmax")
+    b.output(probs)
+    b.graph.mark_output(logits)
+
+    return Model(name=name, graph=b.graph, input_name="input",
+                 logits_name=logits, output_name=probs,
+                 task="classification", activation=activation,
+                 dataset="digits",
+                 config={"input_shape": input_shape, "num_classes": num_classes,
+                         "width_scale": width_scale})
+
+
+def build_alexnet(input_shape: Tuple[int, int, int] = (24, 24, 3),
+                  num_classes: int = 10, width_scale: float = 0.5,
+                  activation: str = "relu", seed: int = 11,
+                  name: str = "alexnet") -> Model:
+    """AlexNet (CIFAR variant): conv/LRN/pool stages + three dense layers."""
+    h, w, c = input_shape
+    b = GraphBuilder(name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    c1 = scaled(64, width_scale)
+    node = b.conv2d(x, c, c1, 5, name="conv1", activation=activation)
+    node, h, w = _pool_if_possible(b, node, h, w, "pool1")
+    node = b.local_response_norm(node, "lrn1")
+
+    c2 = scaled(64, width_scale)
+    node = b.conv2d(node, c1, c2, 5, name="conv2", activation=activation)
+    node = b.local_response_norm(node, "lrn2")
+    node, h, w = _pool_if_possible(b, node, h, w, "pool2")
+
+    node = b.flatten(node, "flatten")
+    features = h * w * c2
+    f1 = scaled(384, width_scale)
+    f2 = scaled(192, width_scale)
+    node = b.dense(node, features, f1, name="fc1", activation=activation)
+    node = b.dense(node, f1, f2, name="fc2", activation=activation)
+    logits = b.dense(node, f2, num_classes, name="fc3", activation=None)
+    probs = b.softmax(logits, "softmax")
+    b.output(probs)
+    b.graph.mark_output(logits)
+
+    return Model(name=name, graph=b.graph, input_name="input",
+                 logits_name=logits, output_name=probs,
+                 task="classification", activation=activation,
+                 dataset="objects",
+                 config={"input_shape": input_shape, "num_classes": num_classes,
+                         "width_scale": width_scale})
+
+
+#: Convolution plans for the two VGG variants: each entry is a block (list of
+#: output channel counts); a max-pool follows every block.
+VGG_PLANS = {
+    "vgg11": [[64], [128], [256, 256], [512, 512], [512, 512]],
+    "vgg16": [[64, 64], [128, 128], [256, 256, 256], [512, 512, 512],
+              [512, 512, 512]],
+}
+
+
+def _build_vgg(variant: str, input_shape: Tuple[int, int, int],
+               num_classes: int, width_scale: float, activation: str,
+               seed: int, name: Optional[str], dataset: str,
+               fc_units: int = 4096) -> Model:
+    plan = VGG_PLANS[variant]
+    h, w, c = input_shape
+    model_name = name or variant
+    b = GraphBuilder(model_name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    node = x
+    in_channels = c
+    for block_idx, block in enumerate(plan, start=1):
+        for conv_idx, out_channels in enumerate(block, start=1):
+            out_channels = scaled(out_channels, width_scale)
+            node = b.conv2d(node, in_channels, out_channels, 3,
+                            name=f"block{block_idx}/conv{conv_idx}",
+                            activation=activation)
+            in_channels = out_channels
+        node, h, w = _pool_if_possible(b, node, h, w, f"block{block_idx}/pool")
+
+    node = b.flatten(node, "flatten")
+    features = h * w * in_channels
+    fc = scaled(fc_units, width_scale)
+    node = b.dense(node, features, fc, name="fc1", activation=activation)
+    node = b.dense(node, fc, fc, name="fc2", activation=activation)
+    logits = b.dense(node, fc, num_classes, name="fc3", activation=None)
+    probs = b.softmax(logits, "softmax")
+    b.output(probs)
+    b.graph.mark_output(logits)
+
+    return Model(name=model_name, graph=b.graph, input_name="input",
+                 logits_name=logits, output_name=probs,
+                 task="classification", activation=activation,
+                 dataset=dataset,
+                 config={"input_shape": input_shape, "num_classes": num_classes,
+                         "width_scale": width_scale, "variant": variant})
+
+
+def build_vgg11(input_shape: Tuple[int, int, int] = (24, 24, 3),
+                num_classes: int = 12, width_scale: float = 0.125,
+                activation: str = "relu", seed: int = 12,
+                name: Optional[str] = None) -> Model:
+    """VGG-11 (configuration A), trained on the traffic-sign dataset."""
+    return _build_vgg("vgg11", input_shape, num_classes, width_scale,
+                      activation, seed, name, dataset="traffic_signs",
+                      fc_units=512)
+
+
+def build_vgg16(input_shape: Tuple[int, int, int] = (32, 32, 3),
+                num_classes: int = 20, width_scale: float = 0.125,
+                activation: str = "relu", seed: int = 13,
+                name: Optional[str] = None) -> Model:
+    """VGG-16 (configuration D), trained on the ImageNet stand-in."""
+    return _build_vgg("vgg16", input_shape, num_classes, width_scale,
+                      activation, seed, name, dataset="imagenet_like",
+                      fc_units=512)

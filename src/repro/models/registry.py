@@ -1,0 +1,81 @@
+"""Model registry: build any of the paper's eight DNNs by name.
+
+Two presets are provided for every model:
+
+* ``"small"`` (default) — reduced widths and input sizes so the full
+  experiment matrix runs on a laptop in minutes.  Architectures are otherwise
+  identical (same layer sequence, same operator types).
+* ``"paper"`` — the full-width architectures on paper-sized inputs.  These
+  are buildable and runnable but far too slow for the committed benchmark
+  settings; they exist so the reproduction's model definitions can be checked
+  against the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .base import Model
+from .classifiers import build_alexnet, build_lenet, build_vgg11, build_vgg16
+from .resnet import build_resnet18
+from .squeezenet import build_squeezenet
+from .steering import build_comma, build_dave
+
+MODEL_BUILDERS: Dict[str, Callable[..., Model]] = {
+    "lenet": build_lenet,
+    "alexnet": build_alexnet,
+    "vgg11": build_vgg11,
+    "vgg16": build_vgg16,
+    "resnet18": build_resnet18,
+    "squeezenet": build_squeezenet,
+    "dave": build_dave,
+    "comma": build_comma,
+}
+
+#: The six classifier models of Table I, in the paper's order.
+CLASSIFIER_MODELS = ["lenet", "alexnet", "vgg11", "vgg16", "resnet18",
+                     "squeezenet"]
+
+#: The two AV steering models of Table I.
+STEERING_MODELS = ["dave", "comma"]
+
+ALL_MODELS = CLASSIFIER_MODELS + STEERING_MODELS
+
+#: Per-model overrides for the "paper" preset (full architecture sizes).
+_PAPER_PRESET: Dict[str, Dict[str, Any]] = {
+    "lenet": {"input_shape": (28, 28, 1), "num_classes": 10, "width_scale": 1.0},
+    "alexnet": {"input_shape": (32, 32, 3), "num_classes": 10, "width_scale": 1.0},
+    "vgg11": {"input_shape": (48, 48, 3), "num_classes": 12, "width_scale": 1.0},
+    "vgg16": {"input_shape": (224, 224, 3), "num_classes": 40, "width_scale": 1.0},
+    "resnet18": {"input_shape": (224, 224, 3), "num_classes": 40, "width_scale": 1.0},
+    "squeezenet": {"input_shape": (224, 224, 3), "num_classes": 40, "width_scale": 1.0},
+    "dave": {"input_shape": (66, 200, 3), "width_scale": 1.0},
+    "comma": {"input_shape": (80, 160, 3), "width_scale": 1.0},
+}
+
+
+def build_model(name: str, preset: str = "small", **overrides) -> Model:
+    """Build a model by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ALL_MODELS`.
+    preset:
+        ``"small"`` (laptop-scale defaults) or ``"paper"`` (full sizes).
+    overrides:
+        Keyword arguments forwarded to the model builder, overriding the
+        preset (e.g. ``width_scale=0.5``, ``activation="tanh"``,
+        ``output_mode="degrees"``).
+    """
+    key = name.lower()
+    if key not in MODEL_BUILDERS:
+        raise ValueError(f"unknown model '{name}'; "
+                         f"expected one of {sorted(MODEL_BUILDERS)}")
+    if preset not in ("small", "paper"):
+        raise ValueError(f"unknown preset '{preset}'")
+    kwargs: Dict[str, Any] = {}
+    if preset == "paper":
+        kwargs.update(_PAPER_PRESET[key])
+    kwargs.update(overrides)
+    return MODEL_BUILDERS[key](**kwargs)

@@ -1,0 +1,84 @@
+"""ResNet-18 with basic residual blocks (He et al., 2016).
+
+The residual (shortcut) additions matter for the reproduction: a fault that
+corrupts one branch still reaches the output through the addition, and
+Ranger's bounds on the activations that feed the addition are what dampens
+it.  Batch normalization runs in inference mode (moving statistics) during
+fault-injection experiments, matching frozen deployment graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graph.builder import GraphBuilder
+from .base import Model, scaled
+
+
+def _basic_block(b: GraphBuilder, node: str, in_channels: int,
+                 out_channels: int, stride: int, name: str,
+                 activation: str) -> Tuple[str, int]:
+    """One ResNet basic block: two 3x3 convs with a shortcut connection."""
+    shortcut = node
+    out = b.conv2d(node, in_channels, out_channels, 3, name=f"{name}/conv1",
+                   stride=stride, activation=None, use_bias=False)
+    out = b.batch_norm(out, out_channels, name=f"{name}/bn1")
+    out = b.activation(out, activation, f"{name}/{activation}1")
+    out = b.conv2d(out, out_channels, out_channels, 3, name=f"{name}/conv2",
+                   activation=None, use_bias=False)
+    out = b.batch_norm(out, out_channels, name=f"{name}/bn2")
+
+    if stride != 1 or in_channels != out_channels:
+        shortcut = b.conv2d(shortcut, in_channels, out_channels, 1,
+                            name=f"{name}/downsample", stride=stride,
+                            activation=None, use_bias=False)
+        shortcut = b.batch_norm(shortcut, out_channels,
+                                name=f"{name}/downsample_bn")
+
+    out = b.add(out, shortcut, name=f"{name}/add")
+    out = b.activation(out, activation, f"{name}/{activation}2")
+    return out, out_channels
+
+
+def build_resnet18(input_shape: Tuple[int, int, int] = (32, 32, 3),
+                   num_classes: int = 20, width_scale: float = 0.25,
+                   activation: str = "relu", seed: int = 14,
+                   name: str = "resnet18") -> Model:
+    """ResNet-18: a stem conv followed by four stages of two basic blocks."""
+    h, w, c = input_shape
+    b = GraphBuilder(name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    stem_channels = scaled(64, width_scale)
+    node = b.conv2d(x, c, stem_channels, 3, name="stem/conv",
+                    activation=None, use_bias=False)
+    node = b.batch_norm(node, stem_channels, name="stem/bn")
+    node = b.activation(node, activation, f"stem/{activation}")
+
+    stage_plan = [
+        ("stage1", scaled(64, width_scale), 1),
+        ("stage2", scaled(128, width_scale), 2),
+        ("stage3", scaled(256, width_scale), 2),
+        ("stage4", scaled(512, width_scale), 2),
+    ]
+    in_channels = stem_channels
+    for stage_name, channels, first_stride in stage_plan:
+        node, in_channels = _basic_block(b, node, in_channels, channels,
+                                         first_stride, f"{stage_name}/block1",
+                                         activation)
+        node, in_channels = _basic_block(b, node, in_channels, channels, 1,
+                                         f"{stage_name}/block2", activation)
+
+    node = b.global_avg_pool(node, "global_pool")
+    logits = b.dense(node, in_channels, num_classes, name="fc",
+                     activation=None)
+    probs = b.softmax(logits, "softmax")
+    b.output(probs)
+    b.graph.mark_output(logits)
+
+    return Model(name=name, graph=b.graph, input_name="input",
+                 logits_name=logits, output_name=probs,
+                 task="classification", activation=activation,
+                 dataset="imagenet_like",
+                 config={"input_shape": input_shape, "num_classes": num_classes,
+                         "width_scale": width_scale})

@@ -1,0 +1,76 @@
+"""SqueezeNet (Iandola et al., 2016) with fire modules.
+
+SqueezeNet matters to the reproduction because its fire modules end in a
+channel-axis **concatenation** of the two expand branches — the case for
+which the paper's Algorithm 1 defines the merged restriction bound
+``(min(low_{j-1}, low_j), max(up_{j-1}, up_j))``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..graph.builder import GraphBuilder
+from .base import Model, scaled
+
+
+def _fire_module(b: GraphBuilder, node: str, in_channels: int,
+                 squeeze_channels: int, expand_channels: int, name: str,
+                 activation: str) -> Tuple[str, int]:
+    """Fire module: 1x1 squeeze, then parallel 1x1 and 3x3 expands, concat."""
+    squeezed = b.conv2d(node, in_channels, squeeze_channels, 1,
+                        name=f"{name}/squeeze", activation=activation)
+    expand1 = b.conv2d(squeezed, squeeze_channels, expand_channels, 1,
+                       name=f"{name}/expand1x1", activation=activation)
+    expand3 = b.conv2d(squeezed, squeeze_channels, expand_channels, 3,
+                       name=f"{name}/expand3x3", activation=activation)
+    out = b.concat([expand1, expand3], name=f"{name}/concat", axis=-1)
+    return out, 2 * expand_channels
+
+
+def build_squeezenet(input_shape: Tuple[int, int, int] = (32, 32, 3),
+                     num_classes: int = 20, width_scale: float = 0.25,
+                     activation: str = "relu", seed: int = 15,
+                     name: str = "squeezenet") -> Model:
+    """SqueezeNet v1.1-style network scaled for laptop experiments."""
+    h, w, c = input_shape
+    b = GraphBuilder(name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    stem_channels = scaled(64, width_scale)
+    node = b.conv2d(x, c, stem_channels, 3, name="stem/conv",
+                    activation=activation)
+    node = b.max_pool(node, 2, name="stem/pool")
+    h, w = h // 2, w // 2
+    in_channels = stem_channels
+
+    fire_plan = [
+        ("fire2", scaled(16, width_scale), scaled(64, width_scale), False),
+        ("fire3", scaled(16, width_scale), scaled(64, width_scale), True),
+        ("fire4", scaled(32, width_scale), scaled(128, width_scale), False),
+        ("fire5", scaled(32, width_scale), scaled(128, width_scale), True),
+        ("fire6", scaled(48, width_scale), scaled(192, width_scale), False),
+        ("fire7", scaled(48, width_scale), scaled(192, width_scale), False),
+    ]
+    for fire_name, squeeze_ch, expand_ch, pool_after in fire_plan:
+        node, in_channels = _fire_module(b, node, in_channels, squeeze_ch,
+                                         expand_ch, fire_name, activation)
+        if pool_after and h >= 2 and w >= 2:
+            node = b.max_pool(node, 2, name=f"{fire_name}/pool")
+            h, w = h // 2, w // 2
+
+    # Classification head: 1x1 conv producing one map per class, then global
+    # average pooling (no fully-connected layer, as in the original).
+    node = b.conv2d(node, in_channels, num_classes, 1, name="head/conv",
+                    activation=activation)
+    logits = b.global_avg_pool(node, "head/global_pool")
+    probs = b.softmax(logits, "softmax")
+    b.output(probs)
+    b.graph.mark_output(logits)
+
+    return Model(name=name, graph=b.graph, input_name="input",
+                 logits_name=logits, output_name=probs,
+                 task="classification", activation=activation,
+                 dataset="imagenet_like",
+                 config={"input_shape": input_shape, "num_classes": num_classes,
+                         "width_scale": width_scale})

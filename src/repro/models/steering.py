@@ -1,0 +1,138 @@
+"""Steering-angle regression models: Nvidia Dave-2 and Comma.ai.
+
+These are the two AV models in the paper's evaluation.  Two properties of the
+originals are preserved because the paper's analysis depends on them:
+
+* **Dave** outputs the steering angle through a ``2 * atan(x)`` head and is
+  trained in **radians** in its original form.  The paper shows this head is
+  the reason Ranger helps Dave less (a small deviation at the atan input
+  saturates the output); it then retrains Dave to output **degrees**, which
+  both improves accuracy and restores Ranger's effectiveness.  The
+  ``output_mode`` argument selects between the two variants.
+* **Comma.ai** uses ELU activations and outputs degrees directly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .. import ops
+from ..graph.builder import GraphBuilder
+from ..ops.conv import conv_output_size
+from .base import Model, scaled
+
+
+def build_dave(input_shape: Tuple[int, int, int] = (24, 48, 3),
+               width_scale: float = 0.5, output_mode: str = "radians",
+               activation: str = "relu", seed: int = 16,
+               name: str = "dave") -> Model:
+    """Nvidia Dave-2: five convolutions followed by four dense layers.
+
+    Parameters
+    ----------
+    output_mode:
+        ``"radians"`` — the original model: the final scalar passes through a
+        ``2 * atan`` head and the label unit is radians.
+        ``"degrees"`` — the retrained model of Section VI-A: a linear output
+        head predicting the angle in degrees directly.
+    """
+    if output_mode not in ("radians", "degrees"):
+        raise ValueError(f"output_mode must be 'radians' or 'degrees', "
+                         f"got '{output_mode}'")
+    h, w, c = input_shape
+    b = GraphBuilder(name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    conv_plan = [
+        ("conv1", scaled(24, width_scale), 5, 2),
+        ("conv2", scaled(36, width_scale), 5, 2),
+        ("conv3", scaled(48, width_scale), 5, 2),
+        ("conv4", scaled(64, width_scale), 3, 1),
+        ("conv5", scaled(64, width_scale), 3, 1),
+    ]
+    node = x
+    in_channels = c
+    for conv_name, out_channels, kernel, stride in conv_plan:
+        # Fall back to stride 1 once the feature map is too small to halve.
+        effective_stride = stride if min(h, w) > kernel else 1
+        node = b.conv2d(node, in_channels, out_channels, kernel,
+                        name=conv_name, stride=effective_stride,
+                        padding="same", activation=activation)
+        h = conv_output_size(h, kernel, effective_stride, "same")
+        w = conv_output_size(w, kernel, effective_stride, "same")
+        in_channels = out_channels
+
+    node = b.flatten(node, "flatten")
+    features = h * w * in_channels
+    fc_plan = [
+        ("fc1", scaled(1164, width_scale * 0.25)),
+        ("fc2", scaled(100, width_scale)),
+        ("fc3", scaled(50, width_scale)),
+        ("fc4", scaled(10, width_scale)),
+    ]
+    in_features = features
+    for fc_name, units in fc_plan:
+        node = b.dense(node, in_features, units, name=fc_name,
+                       activation=activation)
+        in_features = units
+    raw = b.dense(node, in_features, 1, name="fc_out", activation=None)
+
+    if output_mode == "radians":
+        output = b.activation(raw, "atan", "atan_head")
+        output = b.scale(output, 2.0, "output")
+        angle_unit = "radians"
+    else:
+        output = b.graph.add("output", ops.Identity(), [raw])
+        angle_unit = "degrees"
+
+    b.output(output)
+    b.graph.mark_output(raw)
+
+    return Model(name=name, graph=b.graph, input_name="input",
+                 logits_name=raw, output_name=output,
+                 task="regression", activation=activation,
+                 dataset=f"driving_{angle_unit}", angle_unit=angle_unit,
+                 config={"input_shape": input_shape, "width_scale": width_scale,
+                         "output_mode": output_mode})
+
+
+def build_comma(input_shape: Tuple[int, int, int] = (24, 48, 3),
+                width_scale: float = 0.5, activation: str = "elu",
+                seed: int = 17, name: str = "comma") -> Model:
+    """Comma.ai steering model: three strided convolutions + two dense layers."""
+    h, w, c = input_shape
+    b = GraphBuilder(name, seed=seed)
+    x = b.input(input_shape, "input")
+
+    conv_plan = [
+        ("conv1", scaled(16, width_scale), 8, 4),
+        ("conv2", scaled(32, width_scale), 5, 2),
+        ("conv3", scaled(64, width_scale), 5, 2),
+    ]
+    node = x
+    in_channels = c
+    for conv_name, out_channels, kernel, stride in conv_plan:
+        effective_stride = stride if min(h, w) // stride >= 2 else 1
+        node = b.conv2d(node, in_channels, out_channels, kernel,
+                        name=conv_name, stride=effective_stride,
+                        padding="same", activation=activation)
+        h = conv_output_size(h, kernel, effective_stride, "same")
+        w = conv_output_size(w, kernel, effective_stride, "same")
+        in_channels = out_channels
+
+    node = b.flatten(node, "flatten")
+    features = h * w * in_channels
+    fc_units = scaled(512, width_scale * 0.25)
+    node = b.dense(node, features, fc_units, name="fc1", activation=activation)
+    raw = b.dense(node, fc_units, 1, name="fc_out", activation=None)
+    output = b.graph.add("output", ops.Identity(), [raw])
+
+    b.output(output)
+    b.graph.mark_output(raw)
+
+    return Model(name=name, graph=b.graph, input_name="input",
+                 logits_name=raw, output_name=output,
+                 task="regression", activation=activation,
+                 dataset="driving_degrees", angle_unit="degrees",
+                 config={"input_shape": input_shape,
+                         "width_scale": width_scale})

@@ -1,0 +1,31 @@
+"""Training engine: initializers, losses, optimizers, trainer."""
+
+from .initializers import (
+    Initializer,
+    glorot_uniform,
+    he_normal,
+    ones,
+    truncated_normal,
+    zeros,
+)
+from .losses import Loss, MeanAbsoluteError, MeanSquaredError, SoftmaxCrossEntropy
+from .optimizers import Adam, Optimizer, SGD
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "Initializer",
+    "Loss",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "SoftmaxCrossEntropy",
+    "Trainer",
+    "TrainingHistory",
+    "glorot_uniform",
+    "he_normal",
+    "ones",
+    "truncated_normal",
+    "zeros",
+]

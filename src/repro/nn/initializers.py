@@ -1,0 +1,58 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is deterministic and reproducible — the fault-injection
+experiments depend on the exact same weights being rebuilt for every run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+#: An initializer maps (rng, shape) to an array of that shape.
+Initializer = Callable[[np.random.Generator, Tuple[int, ...]], np.ndarray]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional kernels."""
+    if len(shape) == 2:  # (in_features, out_features)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # (kh, kw, in_channels, out_channels)
+        receptive = shape[0] * shape[1]
+        return receptive * shape[2], receptive * shape[3]
+    size = int(np.prod(shape))
+    return size, size
+
+
+def zeros(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initializer (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """All-ones initializer (used for normalization scales)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def glorot_uniform(rng: np.random.Generator,
+                   shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot / Xavier uniform initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """He normal initialization, appropriate for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def truncated_normal(rng: np.random.Generator, shape: Tuple[int, ...],
+                     std: float = 0.05) -> np.ndarray:
+    """Normal initialization truncated to two standard deviations."""
+    values = rng.normal(0.0, std, size=shape)
+    return np.clip(values, -2.0 * std, 2.0 * std)

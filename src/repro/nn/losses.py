@@ -1,0 +1,77 @@
+"""Loss functions for the in-repo training engine.
+
+Each loss exposes ``value`` (scalar loss) and ``gradient`` (gradient of the
+loss with respect to the model output), which is what
+``Executor.run_with_gradients`` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Loss:
+    """Base class: a differentiable scalar objective on model outputs."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, predictions: np.ndarray,
+                 targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy on logits with an internal softmax.
+
+    ``targets`` are integer class indices of shape ``(batch,)``.  Combining
+    the softmax with the loss gives the numerically stable gradient
+    ``softmax(logits) - onehot(targets)``.
+    """
+
+    def _probabilities(self, logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        probs = self._probabilities(predictions)
+        batch = predictions.shape[0]
+        picked = probs[np.arange(batch), targets.astype(int)]
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    def gradient(self, predictions: np.ndarray,
+                 targets: np.ndarray) -> np.ndarray:
+        probs = self._probabilities(predictions)
+        batch = predictions.shape[0]
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(batch), targets.astype(int)] = 1.0
+        return (probs - onehot) / batch
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, used for the steering-angle regression models."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = targets.reshape(predictions.shape)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def gradient(self, predictions: np.ndarray,
+                 targets: np.ndarray) -> np.ndarray:
+        targets = targets.reshape(predictions.shape)
+        return 2.0 * (predictions - targets) / predictions.size
+
+
+class MeanAbsoluteError(Loss):
+    """Mean absolute error — robust alternative for regression heads."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = targets.reshape(predictions.shape)
+        return float(np.mean(np.abs(predictions - targets)))
+
+    def gradient(self, predictions: np.ndarray,
+                 targets: np.ndarray) -> np.ndarray:
+        targets = targets.reshape(predictions.shape)
+        return np.sign(predictions - targets) / predictions.size

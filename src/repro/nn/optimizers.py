@@ -1,0 +1,89 @@
+"""Gradient-descent optimizers operating on graph Variables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ops.base import Variable
+
+
+class Optimizer:
+    """Base class.  Subclasses implement :meth:`update` for a single variable."""
+
+    def __init__(self, learning_rate: float = 0.01,
+                 grad_clip: Optional[float] = None) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.grad_clip = grad_clip
+
+    def step(self, variables: Sequence[Variable]) -> None:
+        """Apply one update to every trainable variable with a gradient."""
+        for var in variables:
+            if not var.trainable or var.grad is None:
+                continue
+            grad = var.grad
+            if self.grad_clip is not None:
+                grad = np.clip(grad, -self.grad_clip, self.grad_clip)
+            self.update(var, grad)
+
+    def zero_grad(self, variables: Sequence[Variable]) -> None:
+        for var in variables:
+            var.zero_grad()
+
+    def update(self, var: Variable, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0,
+                 grad_clip: Optional[float] = None) -> None:
+        super().__init__(learning_rate, grad_clip)
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def update(self, var: Variable, grad: np.ndarray) -> None:
+        if self.momentum:
+            velocity = self._velocity.get(id(var))
+            if velocity is None:
+                velocity = np.zeros_like(var.value)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[id(var)] = velocity
+            var.value += velocity
+        else:
+            var.value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, learning_rate: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8,
+                 grad_clip: Optional[float] = None) -> None:
+        super().__init__(learning_rate, grad_clip)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def update(self, var: Variable, grad: np.ndarray) -> None:
+        key = id(var)
+        m = self._m.get(key, np.zeros_like(var.value))
+        v = self._v.get(key, np.zeros_like(var.value))
+        t = self._t.get(key, 0) + 1
+
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        var.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+        self._m[key] = m
+        self._v[key] = v
+        self._t[key] = t

@@ -1,0 +1,114 @@
+"""Mini-batch trainer for graph models.
+
+The trainer is deliberately small: the reproduction only needs models that are
+*good enough* to exhibit realistic activation distributions and correct
+predictions on a set of evaluation inputs, not state-of-the-art accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.executor import Executor, set_training_mode
+from ..graph.graph import Graph
+from .losses import Loss
+from .optimizers import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and metric trace recorded by the trainer."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_metrics: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.epoch_losses[-1] if self.epoch_losses else None
+
+
+class Trainer:
+    """Trains a graph model whose loss is computed on a designated output node.
+
+    Parameters
+    ----------
+    graph:
+        The model graph.  It must have exactly one placeholder and the
+        ``output_node`` must produce the pre-loss predictions (logits for
+        classification, raw values for regression).
+    loss:
+        Loss object from :mod:`repro.nn.losses`.
+    optimizer:
+        Optimizer from :mod:`repro.nn.optimizers`.
+    output_node:
+        Name of the node whose output feeds the loss; defaults to the graph's
+        first marked output.
+    """
+
+    def __init__(self, graph: Graph, loss: Loss, optimizer: Optimizer,
+                 output_node: Optional[str] = None) -> None:
+        self.graph = graph
+        self.loss = loss
+        self.optimizer = optimizer
+        placeholders = graph.placeholders()
+        if len(placeholders) != 1:
+            raise ValueError(
+                f"Trainer requires exactly one placeholder, found "
+                f"{len(placeholders)}")
+        self.input_node = placeholders[0].name
+        self.output_node = output_node or graph.outputs[0]
+        self.executor = Executor(graph)
+
+    # -- single steps ------------------------------------------------------------
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One forward/backward/update step on a mini-batch; returns the loss."""
+        variables = self.graph.variables()
+        self.optimizer.zero_grad(variables)
+        result = self.executor.run({self.input_node: inputs},
+                                   outputs=[self.output_node])
+        predictions = result.output(self.output_node)
+        loss_value = self.loss.value(predictions, targets)
+        grad = self.loss.gradient(predictions, targets)
+        self.executor.run_with_gradients({self.input_node: inputs},
+                                         {self.output_node: grad})
+        self.optimizer.step(variables)
+        return loss_value
+
+    def evaluate_loss(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        result = self.executor.run({self.input_node: inputs},
+                                   outputs=[self.output_node])
+        return self.loss.value(result.output(self.output_node), targets)
+
+    # -- full training loop ---------------------------------------------------------
+
+    def fit(self, inputs: np.ndarray, targets: np.ndarray, epochs: int = 5,
+            batch_size: int = 32, shuffle: bool = True,
+            seed: int = 0, verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(inputs, targets)``."""
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and targets ({len(targets)}) differ "
+                f"in length")
+        history = TrainingHistory()
+        rng = np.random.default_rng(seed)
+        n = len(inputs)
+        set_training_mode(self.graph, True)
+        try:
+            for epoch in range(epochs):
+                order = rng.permutation(n) if shuffle else np.arange(n)
+                batch_losses = []
+                for start in range(0, n, batch_size):
+                    idx = order[start:start + batch_size]
+                    batch_losses.append(
+                        self.train_step(inputs[idx], targets[idx]))
+                epoch_loss = float(np.mean(batch_losses))
+                history.epoch_losses.append(epoch_loss)
+                if verbose:
+                    print(f"epoch {epoch + 1}/{epochs}: loss={epoch_loss:.4f}")
+        finally:
+            set_training_mode(self.graph, False)
+        return history

@@ -1,0 +1,85 @@
+"""Numpy operator library used by the dataflow-graph substrate.
+
+This package provides every operator needed by the eight DNNs evaluated in
+the Ranger paper (LeNet, AlexNet, VGG11/16, ResNet-18, SqueezeNet, Nvidia
+Dave, Comma.ai), plus the protection operators (Minimum / Maximum /
+ClipByValue) that Ranger's graph transformation inserts.
+"""
+
+from .base import (
+    Array,
+    Constant,
+    Identity,
+    Operator,
+    OperatorError,
+    Placeholder,
+    Variable,
+)
+from .activations import (
+    ACTIVATION_REGISTRY,
+    Activation,
+    Atan,
+    ELU,
+    LeakyReLU,
+    ReLU,
+    ScaledAtan,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    make_activation,
+)
+from .conv import Conv2D, conv_output_size
+from .dense import (
+    Add,
+    BiasAdd,
+    ClipByValue,
+    MatMul,
+    Maximum,
+    Minimum,
+    Multiply,
+    Scale,
+)
+from .norm import BatchNorm, LocalResponseNorm
+from .pooling import AvgPool2D, GlobalAvgPool, MaxPool2D
+from .reshape import Concatenate, Dropout, Flatten, Pad2D, Reshape
+
+__all__ = [
+    "ACTIVATION_REGISTRY",
+    "Activation",
+    "Add",
+    "Array",
+    "Atan",
+    "AvgPool2D",
+    "BatchNorm",
+    "BiasAdd",
+    "ClipByValue",
+    "Concatenate",
+    "Constant",
+    "Conv2D",
+    "Dropout",
+    "ELU",
+    "Flatten",
+    "GlobalAvgPool",
+    "Identity",
+    "LeakyReLU",
+    "LocalResponseNorm",
+    "MatMul",
+    "Maximum",
+    "MaxPool2D",
+    "Minimum",
+    "Multiply",
+    "Operator",
+    "OperatorError",
+    "Pad2D",
+    "Placeholder",
+    "ReLU",
+    "Reshape",
+    "Scale",
+    "ScaledAtan",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "Variable",
+    "conv_output_size",
+    "make_activation",
+]

@@ -1,0 +1,174 @@
+"""Operator base classes for the dataflow-graph substrate.
+
+Every computation in the reproduction — model inference, training, fault
+injection, and Ranger's range-restriction operators — is expressed as a graph
+of :class:`Operator` nodes.  An operator is a small, stateless-by-default
+object exposing a ``forward`` method (numpy in, numpy out) and, for the
+trainable subset, a ``backward`` method that returns gradients with respect to
+each input.
+
+The design deliberately mirrors a TensorFlow-1.x-style static graph: operators
+are named, immutable once created, and the graph is append-only.  Ranger's
+Algorithm 1 (see ``repro.core.transform``) relies on exactly that structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class OperatorError(RuntimeError):
+    """Raised when an operator receives inputs it cannot process."""
+
+
+class Operator:
+    """Base class for all graph operators.
+
+    Subclasses implement :meth:`forward` and, when they participate in
+    training, :meth:`backward`.  ``forward`` receives the already-evaluated
+    input arrays in the order the node's inputs were declared, and returns a
+    single output array.  ``backward`` receives the upstream gradient together
+    with the cached forward inputs/output and returns one gradient per input
+    (``None`` for inputs that do not need gradients, e.g. integer shape
+    arguments).
+    """
+
+    #: Category tag used by Ranger's layer-selection logic and the fault
+    #: injector.  One of: "input", "variable", "compute", "activation",
+    #: "pooling", "reshape", "concat", "normalization", "output",
+    #: "protection".
+    category: str = "compute"
+
+    #: Whether the operator is a legal fault-injection site.  Inputs and
+    #: constants are excluded (the paper's fault model injects into the output
+    #: of computational operators only).
+    injectable: bool = True
+
+    def forward(self, *inputs: Array) -> Array:
+        raise NotImplementedError
+
+    def backward(self, grad: Array, inputs: Sequence[Array],
+                 output: Array) -> List[Optional[Array]]:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support backpropagation")
+
+    # -- introspection -----------------------------------------------------
+
+    def flops(self, input_shapes: Sequence[Tuple[int, ...]],
+              output_shape: Tuple[int, ...]) -> int:
+        """Floating-point operation count for one forward evaluation.
+
+        The default estimate is one operation per output element, which is
+        accurate for element-wise operators; heavier operators (convolution,
+        matmul, pooling) override this.
+        """
+        return int(np.prod(output_shape))
+
+    def config(self) -> Dict[str, Any]:
+        """A JSON-serializable description of the operator's parameters."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = ", ".join(f"{k}={v!r}" for k, v in self.config().items())
+        return f"{type(self).__name__}({cfg})"
+
+
+class Placeholder(Operator):
+    """Graph input.  Its value is supplied through the executor's feed dict."""
+
+    category = "input"
+    injectable = False
+
+    def __init__(self, name: str = "input",
+                 shape: Optional[Tuple[int, ...]] = None) -> None:
+        self.name = name
+        self.shape = shape
+
+    def forward(self, *inputs: Array) -> Array:
+        raise OperatorError(
+            f"placeholder '{self.name}' must be fed a value at execution time")
+
+    def config(self) -> Dict[str, Any]:
+        return {"name": self.name, "shape": self.shape}
+
+
+class Constant(Operator):
+    """A fixed array baked into the graph (e.g. restriction bounds)."""
+
+    category = "variable"
+    injectable = False
+
+    def __init__(self, value: Array) -> None:
+        self.value = np.asarray(value)
+
+    def forward(self, *inputs: Array) -> Array:
+        return self.value
+
+    def backward(self, grad, inputs, output):
+        return []
+
+    def flops(self, input_shapes, output_shape) -> int:
+        return 0
+
+    def config(self) -> Dict[str, Any]:
+        return {"shape": tuple(self.value.shape)}
+
+
+class Variable(Operator):
+    """A trainable parameter (weight or bias).
+
+    The executor treats variables like constants during the forward pass, but
+    the trainer accumulates gradients into :attr:`grad` and optimizers update
+    :attr:`value` in place.
+    """
+
+    category = "variable"
+    injectable = False
+
+    def __init__(self, value: Array, trainable: bool = True,
+                 name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.trainable = trainable
+        self.name = name
+        self.grad: Optional[Array] = None
+
+    def forward(self, *inputs: Array) -> Array:
+        return self.value
+
+    def backward(self, grad, inputs, output):
+        return []
+
+    def accumulate_grad(self, grad: Array) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64)
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def flops(self, input_shapes, output_shape) -> int:
+        return 0
+
+    def config(self) -> Dict[str, Any]:
+        return {"shape": tuple(self.value.shape), "trainable": self.trainable,
+                "name": self.name}
+
+
+class Identity(Operator):
+    """Pass-through operator, useful as a named output anchor."""
+
+    category = "reshape"
+
+    def forward(self, x: Array) -> Array:
+        return x
+
+    def backward(self, grad, inputs, output):
+        return [grad]
+
+    def flops(self, input_shapes, output_shape) -> int:
+        return 0

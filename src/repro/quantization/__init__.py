@@ -1,0 +1,19 @@
+"""Fixed-point datatypes and executor dtype policies."""
+
+from .fixed_point import (
+    FIXED16,
+    FIXED32,
+    FixedPointFormat,
+    flip_float32_bit,
+)
+from .policy import FixedPointPolicy, fixed16_policy, fixed32_policy
+
+__all__ = [
+    "FIXED16",
+    "FIXED32",
+    "FixedPointFormat",
+    "FixedPointPolicy",
+    "fixed16_policy",
+    "fixed32_policy",
+    "flip_float32_bit",
+]

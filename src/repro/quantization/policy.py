@@ -1,0 +1,52 @@
+"""Executor dtype policies backed by fixed-point formats.
+
+Attaching a :class:`FixedPointPolicy` to an :class:`~repro.graph.Executor`
+rounds every operator output onto the configured Qm.n grid with saturation,
+reproducing the paper's evaluation configurations ("we use a 32-bit
+fixed-point data type for the first 3 RQs"; "16-bit fixed point with 14
+integer and 2 fraction bits" for RQ4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..graph.executor import DTypePolicy
+from ..graph.graph import Node
+from .fixed_point import FIXED16, FIXED32, FixedPointFormat
+
+
+class FixedPointPolicy(DTypePolicy):
+    """Quantize every operator output to a fixed-point grid.
+
+    Parameters
+    ----------
+    fmt:
+        The fixed-point format to apply.
+    skip_categories:
+        Node categories whose outputs are left untouched.  Variables and
+        constants are always skipped: weights live in (ECC-protected) memory
+        under the paper's fault model and their representation is not what is
+        being studied.
+    """
+
+    def __init__(self, fmt: FixedPointFormat,
+                 skip_categories: Optional[Set[str]] = None) -> None:
+        self.fmt = fmt
+        self.skip_categories = {"variable", "input"} | set(skip_categories or ())
+        self.name = f"fixed{fmt.total_bits}"
+
+    def apply(self, node: Node, value):
+        if node.category in self.skip_categories:
+            return value
+        return self.fmt.quantize(value)
+
+
+def fixed32_policy() -> FixedPointPolicy:
+    """The paper's default 32-bit fixed-point evaluation policy."""
+    return FixedPointPolicy(FIXED32)
+
+
+def fixed16_policy() -> FixedPointPolicy:
+    """The paper's RQ4 16-bit (Q14.2) evaluation policy."""
+    return FixedPointPolicy(FIXED16)

@@ -1,0 +1,122 @@
+"""Unit tests for metrics, FLOPs accounting and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AccuracyReport,
+    average_deviation,
+    count_flops,
+    evaluate_accuracy,
+    protection_overhead,
+    reduction_factor,
+    relative_reduction_percent,
+    render_comparison,
+    render_series,
+    render_table,
+    rmse,
+    top_k_accuracy,
+)
+from repro.core import Ranger
+
+
+class TestMetrics:
+    def test_top1(self):
+        probs = np.array([[0.9, 0.1], [0.3, 0.7], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        assert top_k_accuracy(probs, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_top_k_monotone_in_k(self, rng):
+        probs = rng.random((50, 10))
+        labels = rng.integers(0, 10, size=50)
+        accs = [top_k_accuracy(probs, labels, k=k) for k in (1, 3, 5, 10)]
+        assert all(accs[i] <= accs[i + 1] for i in range(len(accs) - 1))
+        assert accs[-1] == 1.0
+
+    def test_top_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            top_k_accuracy(rng.random((3, 4)), np.zeros(3), k=5)
+        with pytest.raises(ValueError):
+            top_k_accuracy(rng.random(12), np.zeros(3))
+
+    def test_rmse_and_average_deviation(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        target = np.array([1.0, 4.0, 1.0])
+        assert rmse(pred, target) == pytest.approx(np.sqrt(8 / 3))
+        assert average_deviation(pred, target) == pytest.approx(4 / 3)
+
+    def test_evaluate_accuracy_classifier(self, lenet_prepared):
+        report = evaluate_accuracy(lenet_prepared.model,
+                                   lenet_prepared.dataset.x_val,
+                                   lenet_prepared.dataset.y_val)
+        assert report.task == "classification"
+        assert 0.0 <= report.top1 <= 1.0
+        assert report.top5 >= report.top1
+
+    def test_evaluate_accuracy_regression(self, comma_prepared):
+        report = evaluate_accuracy(comma_prepared.model,
+                                   comma_prepared.dataset.x_val,
+                                   comma_prepared.dataset.y_val)
+        assert report.rmse_degrees is not None
+        assert report.avg_deviation_degrees <= report.rmse_degrees + 1e-9
+
+    def test_accuracy_report_matches(self):
+        a = AccuracyReport("m", "classification", top1=0.5, top5=0.8)
+        b = AccuracyReport("m", "classification", top1=0.5, top5=0.8)
+        c = AccuracyReport("m", "classification", top1=0.4, top5=0.8)
+        assert a.matches(b)
+        assert not a.matches(c)
+
+
+class TestFlops:
+    def test_conv_dominates_lenet(self, untrained_lenet):
+        report = count_flops(untrained_lenet.model)
+        conv_flops = sum(v for k, v in report.per_node.items() if "/conv" in k)
+        assert conv_flops > 0.3 * report.total
+
+    def test_total_positive_and_stable(self, untrained_lenet):
+        a = count_flops(untrained_lenet.model).total
+        b = count_flops(untrained_lenet.model).total
+        assert a == b > 0
+
+    def test_protection_overhead_small(self, lenet_prepared, lenet_protected):
+        protected, _ = lenet_protected
+        overhead = protection_overhead(lenet_prepared.model, protected)
+        assert overhead["flops_with"] > overhead["flops_without"]
+        assert 0.0 < overhead["overhead"] < 0.05  # well under 5%
+
+    def test_zero_baseline_rejected(self, untrained_lenet):
+        report = count_flops(untrained_lenet.model)
+        empty = type(report)(model_name="empty", per_node={})
+        with pytest.raises(ValueError):
+            report.overhead_relative_to(empty)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["model", "sdc"], [["lenet", 12.5], ["vgg", 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "lenet" in lines[2] and "12.50" in lines[2]
+
+    def test_render_table_with_title(self):
+        text = render_table(["a"], [[1]], title="Table X")
+        assert text.startswith("Table X")
+
+    def test_render_series(self):
+        text = render_series({"original": [1, 2], "ranger": [0.1, 0.2]},
+                             ["2 bit", "3 bit"])
+        assert "original" in text and "2 bit" in text
+
+    def test_render_comparison(self):
+        text = render_comparison("t", ["a", "b"], [10, 20], [1, 2])
+        assert "ranger" in text
+
+    def test_reduction_factor(self):
+        assert reduction_factor(20.0, 2.0) == pytest.approx(10.0)
+        assert reduction_factor(20.0, 0.0) == float("inf")
+        assert reduction_factor(0.0, 0.0) == 1.0
+
+    def test_relative_reduction(self):
+        assert relative_reduction_percent(20.0, 2.0) == pytest.approx(90.0)
+        assert relative_reduction_percent(0.0, 0.0) == 0.0

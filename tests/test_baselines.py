@@ -1,0 +1,252 @@
+"""Unit tests for the baseline protection techniques."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ABFTConvChecksum,
+    ComparisonConfig,
+    LogisticClassifier,
+    ModularRedundancy,
+    SelectiveDuplication,
+    SymptomDetector,
+    TechniqueComparison,
+    prepare_activation_variant,
+    prepare_tanh_variant,
+    train_ml_corrector,
+)
+from repro.core import ActivationProfiler, Ranger, RestrictionBounds
+from repro.injection import FaultInjector, SingleBitFlip, TopKMisclassification
+
+
+@pytest.fixture(scope="module")
+def lenet_injector(lenet_prepared):
+    injector = FaultInjector(lenet_prepared.model, SingleBitFlip(), seed=0)
+    injector.profile_state_space(lenet_prepared.dataset.x_val[:1])
+    return injector
+
+
+class TestModularRedundancy:
+    def test_tmr_recovers_golden_output(self, lenet_prepared, lenet_injector):
+        model = lenet_prepared.model
+        x, _ = lenet_prepared.correctly_predicted_inputs(1, seed=0)
+        golden = model.predict(x)
+        tmr = ModularRedundancy(model, replicas=3)
+        voted, faults = tmr.predict_under_fault(lenet_injector, x)
+        assert len(faults) == 1
+        np.testing.assert_allclose(voted, golden, atol=1e-9)
+
+    def test_overhead_and_coverage_claims(self, lenet_prepared):
+        tmr = ModularRedundancy(lenet_prepared.model, replicas=3)
+        assert tmr.overhead_fraction() == 2.0
+        assert tmr.coverage_is_exact()
+        dmr = ModularRedundancy(lenet_prepared.model, replicas=2)
+        assert not dmr.coverage_is_exact()
+
+    def test_requires_two_replicas(self, lenet_prepared):
+        with pytest.raises(ValueError):
+            ModularRedundancy(lenet_prepared.model, replicas=1)
+
+
+class TestSelectiveDuplication:
+    def test_selects_fraction_of_state_space(self, lenet_prepared,
+                                             lenet_injector):
+        dup = SelectiveDuplication(lenet_prepared.model,
+                                   duplication_fraction=0.3)
+        protected = dup.select_protected_nodes(lenet_injector._site_sizes)
+        assert protected
+        covered = sum(lenet_injector._site_sizes[n] for n in protected)
+        total = sum(lenet_injector._site_sizes.values())
+        assert covered <= 0.75 * total  # respects (approximately) the budget
+
+    def test_detects_only_faults_in_protected_nodes(self, lenet_prepared,
+                                                    lenet_injector):
+        from repro.injection.fault_models import FaultSpec
+        dup = SelectiveDuplication(lenet_prepared.model,
+                                   duplication_fraction=0.3)
+        protected = dup.select_protected_nodes(lenet_injector._site_sizes)
+        inside = FaultSpec(next(iter(protected)), 0, 1, 0.0, 1.0)
+        outside_name = next(n for n in lenet_injector._site_sizes
+                            if n not in protected)
+        outside = FaultSpec(outside_name, 0, 1, 0.0, 1.0)
+        assert dup.detects([inside])
+        assert not dup.detects([outside])
+
+    def test_overhead_tracks_duplicated_flops(self, lenet_prepared,
+                                              lenet_injector):
+        dup = SelectiveDuplication(lenet_prepared.model,
+                                   duplication_fraction=0.3)
+        dup.select_protected_nodes(lenet_injector._site_sizes)
+        assert 0.0 < dup.overhead_fraction() <= 1.0
+
+    def test_invalid_fraction(self, lenet_prepared):
+        with pytest.raises(ValueError):
+            SelectiveDuplication(lenet_prepared.model, duplication_fraction=0.0)
+
+    def test_requires_selection_before_use(self, lenet_prepared):
+        dup = SelectiveDuplication(lenet_prepared.model)
+        with pytest.raises(RuntimeError):
+            dup.detects([])
+
+
+class TestSymptomDetector:
+    @pytest.fixture(scope="class")
+    def bounds(self, lenet_prepared):
+        profiler = ActivationProfiler(lenet_prepared.model)
+        sample, _ = lenet_prepared.dataset.sample_train(40, seed=0)
+        return profiler.profile(sample).select_bounds(100.0)
+
+    def test_detects_out_of_range_activation(self, lenet_prepared, bounds,
+                                             lenet_injector):
+        detector = SymptomDetector(bounds=bounds)
+
+        class HugeFault(SingleBitFlip):
+            def corrupt(self, value, rng):
+                return 1e8, 30
+
+        injector = FaultInjector(lenet_prepared.model, HugeFault(), seed=0)
+        injector._site_sizes = dict(lenet_injector._site_sizes)
+        x, _ = lenet_prepared.correctly_predicted_inputs(1, seed=0)
+        result, _ = injector.inject_full(lenet_prepared.model.executor(), x)
+        assert detector.detects(result)
+
+    def test_clean_run_not_flagged_with_max_bounds(self, lenet_prepared,
+                                                   bounds):
+        detector = SymptomDetector(bounds=bounds, margin=1.05)
+        fp = detector.false_positive_rate(lenet_prepared.model,
+                                          lenet_prepared.dataset.x_train[:20])
+        assert fp <= 0.25
+
+    def test_overhead_includes_reexecution(self, lenet_prepared, bounds):
+        detector = SymptomDetector(bounds=bounds)
+        cheap = detector.overhead_fraction(lenet_prepared.model,
+                                           detection_rate=0.0)
+        expensive = detector.overhead_fraction(lenet_prepared.model,
+                                               detection_rate=0.5)
+        assert expensive > cheap + 0.4
+
+
+class TestABFT:
+    def test_checksum_detects_conv_corruption(self, lenet_prepared,
+                                              lenet_injector):
+        abft = ABFTConvChecksum(lenet_prepared.model)
+        assert abft.protected_nodes
+
+        class ConvFault(SingleBitFlip):
+            def corrupt(self, value, rng):
+                return value + 1000.0, None
+
+        injector = FaultInjector(lenet_prepared.model, ConvFault(), seed=0)
+        injector._site_sizes = {n: s for n, s in lenet_injector._site_sizes.items()
+                                if n in abft.protected_nodes}
+        x, _ = lenet_prepared.correctly_predicted_inputs(1, seed=0)
+        result, faults = injector.inject_full(lenet_prepared.model.executor(), x)
+        assert abft.detects(result, faults)
+
+    def test_clean_run_passes_checksum(self, lenet_prepared):
+        abft = ABFTConvChecksum(lenet_prepared.model)
+        x, _ = lenet_prepared.correctly_predicted_inputs(1, seed=0)
+        result = lenet_prepared.model.executor().run(
+            {lenet_prepared.model.input_name: x},
+            outputs=[lenet_prepared.model.output_name])
+        assert not abft.detects(result)
+
+    def test_misses_faults_outside_conv(self, lenet_prepared, lenet_injector):
+        abft = ABFTConvChecksum(lenet_prepared.model)
+
+        class FcFault(SingleBitFlip):
+            def corrupt(self, value, rng):
+                return value + 1000.0, None
+
+        injector = FaultInjector(lenet_prepared.model, FcFault(), seed=0)
+        injector._site_sizes = {n: s for n, s in lenet_injector._site_sizes.items()
+                                if n.startswith("fc1")}
+        x, _ = lenet_prepared.correctly_predicted_inputs(1, seed=0)
+        result, faults = injector.inject_full(lenet_prepared.model.executor(), x)
+        assert not abft.detects(result, faults)
+
+    def test_overhead_and_coverage_bound(self, lenet_prepared, lenet_injector):
+        abft = ABFTConvChecksum(lenet_prepared.model)
+        assert 0.0 < abft.overhead_fraction() < 0.5
+        bound = abft.coverage_upper_bound(lenet_injector._site_sizes)
+        assert 0.0 < bound < 1.0
+
+
+class TestMLCorrector:
+    def test_logistic_classifier_learns_separable_data(self, rng):
+        x = np.vstack([rng.normal(-2, 0.5, size=(50, 3)),
+                       rng.normal(2, 0.5, size=(50, 3))])
+        y = np.array([0] * 50 + [1] * 50)
+        clf = LogisticClassifier(epochs=300, seed=0)
+        clf.fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.95
+
+    def test_train_corrector_requires_both_classes(self, lenet_prepared):
+        x, _ = lenet_prepared.correctly_predicted_inputs(1, seed=0)
+        result = lenet_prepared.model.executor().run(
+            {lenet_prepared.model.input_name: x},
+            outputs=[lenet_prepared.model.output_name])
+        with pytest.raises(ValueError):
+            train_ml_corrector(lenet_prepared.model, [(result, False)])
+
+    def test_corrector_flags_large_corruptions(self, lenet_prepared,
+                                               lenet_injector):
+        model = lenet_prepared.model
+        x, _ = lenet_prepared.correctly_predicted_inputs(2, seed=0)
+
+        clean = model.executor().run({model.input_name: x[:1]},
+                                     outputs=[model.output_name])
+
+        class HugeFault(SingleBitFlip):
+            def corrupt(self, value, rng):
+                return 1e7, 30
+
+        injector = FaultInjector(model, HugeFault(), seed=0)
+        injector._site_sizes = dict(lenet_injector._site_sizes)
+        corrupted_runs = []
+        for _ in range(6):
+            result, _ = injector.inject_full(model.executor(), x[:1])
+            corrupted_runs.append((result, True))
+        corrector = train_ml_corrector(model,
+                                       [(clean, False)] * 6 + corrupted_runs,
+                                       seed=0)
+        fresh, _ = injector.inject_full(model.executor(), x[1:2])
+        assert corrector.detects(fresh)
+        assert corrector.overhead_fraction() < 0.05
+
+
+class TestHongVariant:
+    def test_tanh_variant_uses_tanh(self):
+        prepared = prepare_tanh_variant("lenet", epochs=1, seed=11)
+        assert prepared.model.activation == "tanh"
+
+    def test_activation_variant_builder(self):
+        prepared = prepare_activation_variant("lenet", "relu", epochs=1,
+                                              seed=12)
+        assert prepared.model.activation == "relu"
+
+
+class TestTechniqueComparison:
+    def test_comparison_produces_all_rows(self, lenet_prepared):
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+        config = ComparisonConfig(trials=25, ml_training_trials=25, seed=0)
+        comparison = TechniqueComparison(lenet_prepared, inputs, config=config)
+        results = comparison.run()
+        names = {r.technique for r in results}
+        assert {"tmr", "selective_duplication", "symptom_detector",
+                "abft_conv", "ml_corrector", "ranger"} <= names
+        for result in results:
+            assert 0.0 <= result.sdc_coverage <= 1.0
+            assert result.overhead >= 0.0
+
+    def test_ranger_beats_partial_techniques(self, lenet_prepared):
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+        config = ComparisonConfig(trials=40, ml_training_trials=30, seed=1)
+        comparison = TechniqueComparison(lenet_prepared, inputs, config=config)
+        results = {r.technique: r for r in comparison.run()}
+        # Ranger's coverage should at least match selective duplication's
+        # while costing far less than TMR.
+        assert results["ranger"].sdc_coverage >= \
+            results["selective_duplication"].sdc_coverage - 0.15
+        assert results["ranger"].overhead < 0.1
+        assert results["tmr"].overhead == pytest.approx(2.0)

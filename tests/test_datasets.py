@@ -1,0 +1,150 @@
+"""Unit tests for the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    degrees_from_output,
+    load_dataset,
+    make_digits,
+    make_driving,
+    make_imagenet_like,
+    make_objects,
+    make_traffic_signs,
+    render_road_frame,
+    train_val_split,
+)
+
+
+class TestSplit:
+    def test_split_sizes(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = np.arange(100)
+        x_tr, y_tr, x_val, y_val = train_val_split(x, y, 0.2, seed=0)
+        assert len(x_tr) == 80 and len(x_val) == 20
+        assert len(y_tr) == 80 and len(y_val) == 20
+
+    def test_split_disjoint(self, rng):
+        x = np.arange(50).reshape(50, 1).astype(float)
+        y = np.arange(50)
+        x_tr, y_tr, x_val, y_val = train_val_split(x, y, 0.3, seed=1)
+        assert set(y_tr).isdisjoint(set(y_val))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((4, 1)), np.zeros(4), 1.5, seed=0)
+
+
+class TestClassificationDatasets:
+    @pytest.mark.parametrize("factory,channels,classes", [
+        (make_digits, 1, 10),
+        (make_objects, 3, 10),
+        (make_traffic_signs, 3, 12),
+        (make_imagenet_like, 3, 20),
+    ])
+    def test_shapes_and_labels(self, factory, channels, classes):
+        ds = factory(num_samples=60)
+        assert ds.task == "classification"
+        assert ds.num_classes == classes
+        assert ds.input_shape[-1] == channels
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+        assert ds.y_train.min() >= 0 and ds.y_train.max() < classes
+        assert ds.train_size + ds.val_size == 60
+
+    def test_determinism(self):
+        a = make_digits(num_samples=40, seed=7)
+        b = make_digits(num_samples=40, seed=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = make_digits(num_samples=40, seed=7)
+        b = make_digits(num_samples=40, seed=8)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_all_classes_present(self):
+        ds = make_digits(num_samples=300, seed=0)
+        assert set(np.unique(ds.y_train)) == set(range(10))
+
+    def test_classes_are_visually_distinct(self):
+        """Mean images of different digit classes should differ substantially."""
+        ds = make_digits(num_samples=300, seed=0)
+        means = [ds.x_train[ds.y_train == c].mean(axis=0) for c in (0, 1)]
+        assert np.abs(means[0] - means[1]).mean() > 0.02
+
+    def test_traffic_sign_class_limit(self):
+        with pytest.raises(ValueError):
+            make_traffic_signs(num_samples=10, num_classes=20)
+
+    def test_imagenet_like_class_limit(self):
+        with pytest.raises(ValueError):
+            make_imagenet_like(num_samples=10, num_classes=100)
+
+    def test_sampling_helpers(self):
+        ds = make_objects(num_samples=50, seed=0)
+        x, y = ds.sample_train(10, seed=1)
+        assert len(x) == 10 and len(y) == 10
+        x2, _ = ds.sample_train(10_000, seed=1)
+        assert len(x2) == ds.train_size
+
+
+class TestDrivingDataset:
+    def test_degrees_and_radians_variants(self):
+        deg = make_driving(num_samples=50, angle_unit="degrees", seed=0)
+        rad = make_driving(num_samples=50, angle_unit="radians", seed=0)
+        assert deg.task == "regression" and rad.task == "regression"
+        assert np.abs(deg.y_train).max() > 10.0        # degrees span
+        assert np.abs(rad.y_train).max() < 2 * np.pi   # radians span
+        # Same frames, different label units.
+        np.testing.assert_allclose(deg.x_train, rad.x_train)
+        np.testing.assert_allclose(np.deg2rad(deg.y_train), rad.y_train,
+                                   atol=1e-9)
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            make_driving(num_samples=10, angle_unit="gradians")
+
+    def test_frame_is_image_like(self, rng):
+        frame = render_road_frame(24, 48, curvature=0.5, lane_offset=0.0,
+                                  rng=rng)
+        assert frame.shape == (24, 48, 3)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_curvature_correlates_with_angle(self):
+        ds = make_driving(num_samples=200, angle_unit="degrees", seed=3)
+        # Frames and labels must be correlated for the task to be learnable:
+        # use the horizontal centre-of-mass of the road pixels as a crude
+        # curvature proxy.
+        road_mass = ds.x_train[..., 0].mean(axis=1)  # (n, width)
+        width = road_mass.shape[1]
+        xs = np.linspace(-1, 1, width)
+        centre = (road_mass * xs).sum(axis=1) / road_mass.sum(axis=1)
+        corr = np.corrcoef(centre, ds.y_train.reshape(-1))[0, 1]
+        assert abs(corr) > 0.3
+
+    def test_degrees_from_output(self):
+        np.testing.assert_allclose(degrees_from_output(np.array([np.pi]),
+                                                       "radians"), [180.0])
+        np.testing.assert_allclose(degrees_from_output(np.array([42.0]),
+                                                       "degrees"), [42.0])
+        with pytest.raises(ValueError):
+            degrees_from_output(np.array([1.0]), "turns")
+
+
+class TestLoader:
+    def test_load_by_name(self):
+        ds = load_dataset("digits", num_samples=30)
+        assert isinstance(ds, Dataset)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("cifar100")
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.zeros((3, 2)), np.zeros(2), np.zeros((1, 2)),
+                    np.zeros(1), task="classification")
+        with pytest.raises(ValueError):
+            Dataset("bad", np.zeros((2, 2)), np.zeros(2), np.zeros((1, 2)),
+                    np.zeros(1), task="segmentation")

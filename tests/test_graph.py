@@ -1,0 +1,262 @@
+"""Unit tests for the dataflow graph, executor and builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ops
+from repro.graph import (
+    Executor,
+    Graph,
+    GraphBuilder,
+    GraphError,
+    set_training_mode,
+)
+from repro.quantization import FIXED16, FixedPointPolicy
+
+
+def tiny_graph():
+    """x -> relu -> clip, with one variable added in."""
+    g = Graph("tiny")
+    g.add("x", ops.Placeholder("x"))
+    g.add("w", ops.Variable(np.array([[2.0]]), name="w"))
+    g.add("matmul", ops.MatMul(), ["x", "w"])
+    g.add("relu", ops.ReLU(), ["matmul"])
+    g.mark_output("relu")
+    return g
+
+
+class TestGraphStructure:
+    def test_add_and_lookup(self):
+        g = tiny_graph()
+        assert "relu" in g
+        assert len(g) == 4
+        assert g.node("relu").inputs == ("matmul",)
+
+    def test_duplicate_name_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(GraphError, match="already exists"):
+            g.add("relu", ops.ReLU(), ["matmul"])
+
+    def test_unknown_input_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError, match="unknown input"):
+            g.add("a", ops.ReLU(), ["missing"])
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(GraphError):
+            tiny_graph().node("nope")
+
+    def test_unique_name(self):
+        g = tiny_graph()
+        assert g.unique_name("fresh") == "fresh"
+        assert g.unique_name("relu") == "relu_1"
+
+    def test_consumers(self):
+        g = tiny_graph()
+        assert [n.name for n in g.consumers("matmul")] == ["relu"]
+
+    def test_topological_order_is_insertion_order(self):
+        g = tiny_graph()
+        assert g.topological_order() == ["x", "w", "matmul", "relu"]
+
+    def test_placeholders_and_variables(self):
+        g = tiny_graph()
+        assert [p.name for p in g.placeholders()] == ["x"]
+        assert len(g.variables()) == 1
+        assert g.num_parameters() == 1
+
+    def test_nodes_by_category(self):
+        g = tiny_graph()
+        assert [n.name for n in g.nodes_by_category("activation")] == ["relu"]
+
+    def test_mark_output_unknown(self):
+        with pytest.raises(GraphError):
+            tiny_graph().mark_output("missing")
+
+    def test_summary_mentions_every_node(self):
+        text = tiny_graph().summary()
+        for name in ("x", "w", "matmul", "relu"):
+            assert name in text
+
+
+class TestGraphDuplication:
+    def test_plain_duplicate_preserves_semantics(self):
+        g = tiny_graph()
+        copy = g.duplicate()
+        x = np.array([[3.0]])
+        out_orig = Executor(g).run({"x": x}).output()
+        out_copy = Executor(copy).run({"x": x}).output()
+        np.testing.assert_allclose(out_orig, out_copy)
+
+    def test_duplicate_shares_operator_instances(self):
+        g = tiny_graph()
+        copy = g.duplicate()
+        assert copy.node("w").op is g.node("w").op
+
+    def test_node_hook_can_splice_nodes(self):
+        """The import_graph_def + input_map pattern Ranger relies on."""
+        g = tiny_graph()
+
+        def hook(new_graph, copied):
+            if copied.name == "relu":
+                new_graph.add("relu/clip", ops.ClipByValue(0.0, 1.0),
+                              ["relu"])
+                return "relu/clip"
+            return None
+
+        protected = g.duplicate(node_hook=hook)
+        assert "relu/clip" in protected
+        x = np.array([[5.0]])  # relu output would be 10, clipped to 1
+        out = Executor(protected).run({"x": x}).output()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_original_graph_untouched_by_hooked_duplicate(self):
+        g = tiny_graph()
+        g.duplicate(node_hook=lambda ng, n: None)
+        assert len(g) == 4
+
+    def test_outputs_remapped_through_hook(self):
+        g = tiny_graph()
+
+        def hook(new_graph, copied):
+            if copied.name == "relu":
+                new_graph.add("guard", ops.ClipByValue(0.0, 2.0), ["relu"])
+                return "guard"
+            return None
+
+        protected = g.duplicate(node_hook=hook)
+        assert protected.outputs == ["guard"]
+
+    def test_bad_hook_replacement_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(GraphError):
+            g.duplicate(node_hook=lambda ng, n: "not-a-node")
+
+
+class TestExecutor:
+    def test_missing_feed_raises(self):
+        with pytest.raises(GraphError, match="placeholder"):
+            Executor(tiny_graph()).run({})
+
+    def test_requested_output_not_in_graph(self):
+        with pytest.raises(GraphError):
+            Executor(tiny_graph()).run({"x": np.ones((1, 1))},
+                                       outputs=["missing"])
+
+    def test_no_outputs_configured(self):
+        g = Graph()
+        g.add("x", ops.Placeholder("x"))
+        with pytest.raises(GraphError, match="no outputs"):
+            Executor(g).run({"x": np.ones(1)})
+
+    def test_output_hook_modifies_value(self):
+        g = tiny_graph()
+        ex = Executor(g)
+
+        def hook(node, value):
+            if node.name == "matmul":
+                return value * 0.0
+            return value
+
+        ex.add_output_hook(hook)
+        out = ex.run({"x": np.array([[4.0]])}).output()
+        assert out[0, 0] == 0.0
+        ex.remove_output_hook(hook)
+        out = ex.run({"x": np.array([[4.0]])}).output()
+        assert out[0, 0] == 8.0
+
+    def test_observer_sees_every_node(self):
+        g = tiny_graph()
+        ex = Executor(g)
+        seen = []
+        ex.add_observer(lambda node, value: seen.append(node.name))
+        ex.run({"x": np.array([[1.0]])})
+        assert set(seen) == {"x", "w", "matmul", "relu"}
+
+    def test_values_contains_intermediates(self):
+        result = Executor(tiny_graph()).run({"x": np.array([[2.0]])})
+        assert result.values["matmul"][0, 0] == 4.0
+
+    def test_fixed_point_policy_quantizes(self):
+        g = tiny_graph()
+        ex = Executor(g, dtype_policy=FixedPointPolicy(FIXED16))
+        out = ex.run({"x": np.array([[1.3]])}).output()
+        # Q14.2 resolution is 0.25, so 2.6 is quantized to a multiple of 0.25.
+        assert out[0, 0] % 0.25 == pytest.approx(0.0)
+
+    def test_gradients_flow_to_variables(self):
+        g = tiny_graph()
+        ex = Executor(g)
+        x = np.array([[3.0]])
+        _, grads = ex.run_with_gradients({"x": x}, {"relu": np.array([[1.0]])})
+        w = g.variables()[0]
+        assert w.grad is not None
+        assert w.grad[0, 0] == pytest.approx(3.0)
+        assert grads["x"][0, 0] == pytest.approx(2.0)
+
+    def test_set_training_mode(self):
+        b = GraphBuilder("m", seed=0)
+        x = b.input((4,), "input")
+        d = b.dropout(x, 0.5, "drop")
+        b.output(d)
+        set_training_mode(b.graph, True)
+        assert b.graph.node("drop").op.training is True
+        set_training_mode(b.graph, False)
+        assert b.graph.node("drop").op.training is False
+
+
+class TestGraphBuilder:
+    def test_conv_layer_node_granularity(self):
+        b = GraphBuilder("m", seed=0)
+        x = b.input((8, 8, 3), "input")
+        out = b.conv2d(x, 3, 4, 3, name="c1")
+        g = b.graph
+        assert "c1/kernel" in g and "c1/conv" in g
+        assert "c1/bias_add" in g and "c1/relu" in g
+        assert out == "c1/relu"
+
+    def test_dense_without_activation(self):
+        b = GraphBuilder("m", seed=0)
+        x = b.input((6,), "input")
+        out = b.dense(x, 6, 2, name="fc", activation=None)
+        assert out == "fc/bias_add"
+
+    def test_deterministic_weights_given_seed(self):
+        def build(seed):
+            b = GraphBuilder("m", seed=seed)
+            x = b.input((6,), "input")
+            b.dense(x, 6, 2, name="fc", activation=None)
+            return b.graph.node("fc/weight").op.value
+
+        np.testing.assert_array_equal(build(7), build(7))
+        assert not np.array_equal(build(7), build(8))
+
+    def test_forward_through_builder_graph(self, rng):
+        b = GraphBuilder("m", seed=0)
+        x = b.input((5, 5, 1), "input")
+        h = b.conv2d(x, 1, 2, 3, name="c1")
+        h = b.max_pool(h, 2, name="p1")
+        h = b.flatten(h)
+        h = b.dense(h, 2 * 2 * 2, 3, name="fc", activation=None)
+        b.output(b.softmax(h))
+        out = Executor(b.graph).run({"input": rng.normal(size=(2, 5, 5, 1))})
+        assert out.output().shape == (2, 3)
+
+
+@given(st.floats(min_value=-8.0, max_value=8.0),
+       st.floats(min_value=0.1, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_duplicate_equivalence_property(x_value, weight):
+    """Duplicated graphs always compute the same function as the original."""
+    g = Graph("prop")
+    g.add("x", ops.Placeholder("x"))
+    g.add("w", ops.Variable(np.array([[weight]])))
+    g.add("matmul", ops.MatMul(), ["x", "w"])
+    g.add("tanh", ops.Tanh(), ["matmul"])
+    g.mark_output("tanh")
+    copy = g.duplicate()
+    feed = {"x": np.array([[x_value]])}
+    np.testing.assert_allclose(Executor(g).run(feed).output(),
+                               Executor(copy).run(feed).output())

@@ -1,0 +1,234 @@
+"""Unit tests for fault models, the injector, SDC criteria and campaigns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.injection import (
+    ConsecutiveBitFlip,
+    FaultInjectionCampaign,
+    FaultInjector,
+    InjectionError,
+    MultiBitFlip,
+    RandomValueFault,
+    SingleBitFlip,
+    SteeringDeviation,
+    StuckAtZeroFault,
+    TopKMisclassification,
+    compare_protection,
+    criteria_for_model,
+    downstream_nodes,
+    last_layer_exclusions,
+)
+from repro.quantization import FIXED16, FIXED32
+
+
+class TestFaultModels:
+    def test_single_bit_flip_changes_value(self, rng):
+        fm = SingleBitFlip(FIXED32)
+        corrupted, bit = fm.corrupt(1.5, rng)
+        assert corrupted != 1.5
+        assert 0 <= bit < 32
+
+    def test_single_bit_flip_float32(self, rng):
+        fm = SingleBitFlip("float32")
+        corrupted, bit = fm.corrupt(1.5, rng)
+        assert 0 <= bit < 32
+
+    def test_multi_bit_sites(self):
+        fm = MultiBitFlip(num_bits=4)
+        assert fm.sites_per_event == 4
+        assert "4" in fm.describe()
+
+    def test_multi_bit_invalid(self):
+        with pytest.raises(ValueError):
+            MultiBitFlip(num_bits=0)
+
+    def test_consecutive_flip_within_format(self, rng):
+        fm = ConsecutiveBitFlip(num_bits=3, fmt=FIXED16)
+        corrupted, start = fm.corrupt(2.0, rng)
+        assert 0 <= start <= FIXED16.total_bits - 3
+        assert corrupted != 2.0
+
+    def test_consecutive_requires_fixed_point(self):
+        with pytest.raises(ValueError):
+            ConsecutiveBitFlip(num_bits=2, fmt="float32")
+
+    def test_random_value_fault_in_range(self, rng):
+        fm = RandomValueFault(0.0, 5.0)
+        value, bit = fm.corrupt(100.0, rng)
+        assert 0.0 <= value <= 5.0 and bit is None
+
+    def test_random_value_invalid_range(self):
+        with pytest.raises(ValueError):
+            RandomValueFault(5.0, 0.0)
+
+    def test_stuck_at_zero(self, rng):
+        assert StuckAtZeroFault().corrupt(123.0, rng)[0] == 0.0
+
+
+class TestSDCCriteria:
+    def test_top1_detects_label_change(self):
+        golden = np.array([[0.7, 0.2, 0.1]])
+        faulty = np.array([[0.1, 0.8, 0.1]])
+        assert TopKMisclassification(k=1).is_sdc(golden, faulty)
+        assert not TopKMisclassification(k=1).is_sdc(golden, golden)
+
+    def test_top5_more_permissive_than_top1(self):
+        golden = np.zeros((1, 10))
+        golden[0, 3] = 1.0
+        faulty = np.zeros((1, 10))
+        faulty[0, 7] = 1.0
+        faulty[0, 3] = 0.5  # correct label still in top 5
+        assert TopKMisclassification(k=1).is_sdc(golden, faulty)
+        assert not TopKMisclassification(k=5).is_sdc(golden, faulty)
+
+    def test_topk_invalid(self):
+        with pytest.raises(ValueError):
+            TopKMisclassification(k=0)
+
+    def test_steering_threshold_degrees(self):
+        criterion = SteeringDeviation(threshold_degrees=30, angle_unit="degrees")
+        assert criterion.is_sdc(np.array([10.0]), np.array([50.0]))
+        assert not criterion.is_sdc(np.array([10.0]), np.array([30.0]))
+
+    def test_steering_threshold_radians_conversion(self):
+        criterion = SteeringDeviation(threshold_degrees=30, angle_unit="radians")
+        # pi/2 radians deviation = 90 degrees > 30 degrees.
+        assert criterion.is_sdc(np.array([0.0]), np.array([np.pi / 2]))
+        assert not criterion.is_sdc(np.array([0.0]), np.array([np.deg2rad(10)]))
+
+    def test_nonfinite_output_is_sdc(self):
+        criterion = SteeringDeviation(threshold_degrees=30, angle_unit="degrees")
+        assert criterion.is_sdc(np.array([0.0]), np.array([np.nan]))
+
+    def test_criteria_for_model(self, lenet_prepared, comma_prepared):
+        assert [c.name for c in criteria_for_model(lenet_prepared.model)] == ["top1"]
+        steering = criteria_for_model(comma_prepared.model)
+        assert len(steering) == 4
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SteeringDeviation(threshold_degrees=0.0)
+
+
+class TestInjector:
+    def test_requires_state_space_profile(self, lenet_prepared):
+        injector = FaultInjector(lenet_prepared.model, SingleBitFlip())
+        with pytest.raises(InjectionError):
+            injector.sample_plan()
+
+    def test_profile_and_sample(self, lenet_prepared):
+        model = lenet_prepared.model
+        injector = FaultInjector(model, SingleBitFlip(), seed=0)
+        sizes = injector.profile_state_space(
+            lenet_prepared.dataset.x_val[:1])
+        assert injector.state_space_size == sum(sizes.values())
+        plan = injector.sample_plan()
+        assert len(plan.sites) == 1
+        node, element = plan.sites[0]
+        assert node in sizes
+        assert 0 <= element < sizes[node]
+
+    def test_last_layer_excluded(self, lenet_prepared):
+        model = lenet_prepared.model
+        excluded = last_layer_exclusions(model)
+        assert model.logits_name in excluded
+        assert "softmax" in excluded
+        injector = FaultInjector(model, SingleBitFlip(), seed=0)
+        sizes = injector.profile_state_space(lenet_prepared.dataset.x_val[:1])
+        assert model.logits_name not in sizes
+        assert "fc3/matmul" not in sizes
+
+    def test_protection_nodes_never_injected(self, lenet_protected,
+                                             lenet_prepared):
+        protected, _ = lenet_protected
+        injector = FaultInjector(protected, SingleBitFlip(), seed=0)
+        sizes = injector.profile_state_space(lenet_prepared.dataset.x_val[:1])
+        assert not any("ranger" in name for name in sizes)
+
+    def test_injection_changes_exactly_one_value(self, lenet_prepared):
+        model = lenet_prepared.model
+        injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=1)
+        x = lenet_prepared.dataset.x_val[:1]
+        injector.profile_state_space(x)
+        executor = model.executor()
+        faulty, faults = injector.inject(executor, x)
+        assert len(faults) == 1
+        assert faults[0].corrupted != faults[0].original
+
+    def test_multibit_injection_hits_multiple_sites(self, lenet_prepared):
+        model = lenet_prepared.model
+        injector = FaultInjector(model, MultiBitFlip(3, FIXED32), seed=1)
+        x = lenet_prepared.dataset.x_val[:1]
+        injector.profile_state_space(x)
+        _, faults = injector.inject(model.executor(), x)
+        assert len(faults) == 3
+
+    def test_downstream_nodes(self, lenet_prepared):
+        graph = lenet_prepared.model.graph
+        reachable = downstream_nodes(graph, "conv1/relu")
+        assert "softmax" in reachable
+        assert "conv1/conv" not in reachable
+
+    def test_deterministic_given_seed(self, lenet_prepared):
+        model = lenet_prepared.model
+        x = lenet_prepared.dataset.x_val[:1]
+
+        def run(seed):
+            injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=seed)
+            injector.profile_state_space(x)
+            return injector.sample_plan().sites
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestCampaign:
+    def test_campaign_counts_and_rates(self, lenet_prepared):
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(4, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                          seed=0)
+        result = campaign.run(trials=30)
+        assert result.trials == 30
+        rate = result.sdc_rate("top1")
+        assert 0.0 <= rate <= 1.0
+        low, high = result.confidence_interval("top1")
+        assert 0.0 <= low <= rate <= high <= 1.0
+
+    def test_campaign_requires_inputs_and_trials(self, lenet_prepared):
+        with pytest.raises(ValueError):
+            FaultInjectionCampaign(lenet_prepared.model, np.empty((0, 20, 20, 1)))
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(2, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+        with pytest.raises(ValueError):
+            campaign.run(trials=0)
+
+    def test_summary_mentions_criteria(self, lenet_prepared):
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(2, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+        text = campaign.run(trials=10).summary()
+        assert "top1" in text and "SDC rate" in text
+
+    def test_paired_comparison_reduces_sdc(self, lenet_prepared,
+                                           lenet_protected):
+        protected, _ = lenet_protected
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(5, seed=0)
+        base, guarded = compare_protection(lenet_prepared.model, protected,
+                                           inputs, trials=60, seed=0)
+        assert guarded.sdc_rate("top1") <= base.sdc_rate("top1")
+
+    def test_zero_fault_free_campaign_under_stuck_at_original(self,
+                                                              lenet_prepared):
+        """Injecting a 'fault' that leaves the value unchanged never causes SDCs."""
+
+        class NoOpFault(StuckAtZeroFault):
+            def corrupt(self, value, rng):
+                return value, None
+
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                          fault_model=NoOpFault(), seed=0)
+        result = campaign.run(trials=20)
+        assert result.sdc_rate("top1") == 0.0

@@ -1,0 +1,182 @@
+"""Unit tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ALL_MODELS,
+    CLASSIFIER_MODELS,
+    STEERING_MODELS,
+    build_comma,
+    build_dave,
+    build_lenet,
+    build_model,
+    build_resnet18,
+    build_squeezenet,
+    build_vgg11,
+    build_vgg16,
+    dataset_for_model,
+    prepare_model,
+)
+
+
+class TestRegistry:
+    def test_model_lists_match_paper_table1(self):
+        assert len(CLASSIFIER_MODELS) == 6
+        assert len(STEERING_MODELS) == 2
+        assert set(ALL_MODELS) == {"lenet", "alexnet", "vgg11", "vgg16",
+                                   "resnet18", "squeezenet", "dave", "comma"}
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("mobilenet")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            build_model("lenet", preset="huge")
+
+    def test_overrides_applied(self):
+        model = build_model("lenet", num_classes=7)
+        assert model.config["num_classes"] == 7
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_every_model_builds_and_runs(self, name, rng):
+        model = build_model(name)
+        x = rng.random((2,) + tuple(model.config["input_shape"]))
+        out = model.predict(x)
+        assert out.shape[0] == 2
+        assert np.all(np.isfinite(out))
+
+    @pytest.mark.parametrize("name", CLASSIFIER_MODELS)
+    def test_classifier_outputs_are_probabilities(self, name, rng):
+        model = build_model(name)
+        x = rng.random((1,) + tuple(model.config["input_shape"]))
+        out = model.predict(x)
+        assert out.shape[1] == model.config["num_classes"]
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+    @pytest.mark.parametrize("name", STEERING_MODELS)
+    def test_steering_outputs_scalar(self, name, rng):
+        model = build_model(name)
+        x = rng.random((3,) + tuple(model.config["input_shape"]))
+        assert model.predict(x).shape == (3, 1)
+
+
+class TestArchitectureStructure:
+    def test_lenet_layer_counts(self):
+        model = build_lenet()
+        convs = [n for n in model.graph if type(n.op).__name__ == "Conv2D"]
+        matmuls = [n for n in model.graph if type(n.op).__name__ == "MatMul"]
+        assert len(convs) == 2 and len(matmuls) == 3
+
+    def test_vgg11_has_8_convs(self):
+        model = build_vgg11()
+        convs = [n for n in model.graph if type(n.op).__name__ == "Conv2D"]
+        assert len(convs) == 8
+
+    def test_vgg16_has_13_convs_and_13_relus_before_fc(self):
+        model = build_vgg16()
+        convs = [n for n in model.graph if type(n.op).__name__ == "Conv2D"]
+        assert len(convs) == 13
+        # The paper's Fig. 4 mentions 13 ACT layers in VGG16's conv stack.
+        relus = [n for n in model.graph if n.category == "activation"
+                 and n.name.startswith("block")]
+        assert len(relus) == 13
+
+    def test_resnet18_has_residual_adds(self):
+        model = build_resnet18()
+        adds = [n for n in model.graph if type(n.op).__name__ == "Add"]
+        assert len(adds) == 8  # two blocks per stage, four stages
+
+    def test_squeezenet_has_concatenations(self):
+        model = build_squeezenet()
+        concats = [n for n in model.graph if n.category == "concat"]
+        assert len(concats) == 6  # one per fire module
+
+    def test_dave_radians_uses_atan_head(self):
+        model = build_dave(output_mode="radians")
+        assert model.angle_unit == "radians"
+        assert any(type(n.op).__name__ == "Atan" for n in model.graph)
+
+    def test_dave_degrees_has_no_atan_head(self):
+        model = build_dave(output_mode="degrees")
+        assert model.angle_unit == "degrees"
+        assert not any(type(n.op).__name__ == "Atan" for n in model.graph)
+
+    def test_dave_invalid_output_mode(self):
+        with pytest.raises(ValueError):
+            build_dave(output_mode="rpm")
+
+    def test_comma_uses_elu(self):
+        model = build_comma()
+        assert model.activation == "elu"
+        assert any(type(n.op).__name__ == "ELU" for n in model.graph)
+
+    def test_activation_override(self):
+        model = build_lenet(activation="tanh")
+        assert all(type(n.op).__name__ != "ReLU" for n in model.graph)
+        assert any(type(n.op).__name__ == "Tanh" for n in model.graph)
+
+    def test_width_scale_shrinks_parameters(self):
+        wide = build_lenet(width_scale=1.0)
+        narrow = build_lenet(width_scale=0.5)
+        assert narrow.num_parameters < wide.num_parameters
+
+    def test_paper_preset_builds(self):
+        # The full-size presets must at least build (not run — too slow).
+        model = build_model("lenet", preset="paper")
+        assert model.config["input_shape"] == (28, 28, 1)
+
+
+class TestPreparedModels:
+    def test_dataset_for_model_matches_input_shape(self):
+        model = build_model("alexnet")
+        dataset = dataset_for_model(model)
+        assert dataset.input_shape == tuple(model.config["input_shape"])
+
+    def test_prepare_without_training(self):
+        prepared = prepare_model("lenet", train=False, use_cache=False)
+        assert prepared.final_loss is None
+
+    def test_prepare_caches(self):
+        a = prepare_model("lenet", train=False, seed=99)
+        b = prepare_model("lenet", train=False, seed=99)
+        assert a is b
+
+    def test_correct_inputs_are_correct(self, lenet_prepared):
+        inputs, labels = lenet_prepared.correctly_predicted_inputs(5, seed=0)
+        predictions = lenet_prepared.model.predict(inputs).argmax(1)
+        np.testing.assert_array_equal(predictions, labels)
+
+    def test_trained_lenet_beats_chance(self, lenet_prepared):
+        ds = lenet_prepared.dataset
+        accuracy = (lenet_prepared.model.predict(ds.x_val).argmax(1)
+                    == ds.y_val).mean()
+        assert accuracy > 0.5
+
+    def test_trained_comma_predicts_reasonably(self, comma_prepared):
+        ds = comma_prepared.dataset
+        predictions = comma_prepared.model.predict(ds.x_val).reshape(-1)
+        rmse = np.sqrt(np.mean((predictions - ds.y_val.reshape(-1)) ** 2))
+        assert rmse < 60.0  # degrees; far better than predicting 0 everywhere
+
+    def test_regression_correct_inputs(self, comma_prepared):
+        inputs, targets = comma_prepared.correctly_predicted_inputs(4, seed=0)
+        assert len(inputs) == 4 and len(targets) == 4
+
+
+class TestModelWrapper:
+    def test_with_graph_keeps_node_names(self, untrained_lenet):
+        model = untrained_lenet.model
+        copy = model.with_graph(model.graph.duplicate(), suffix="copy")
+        assert copy.input_name == model.input_name
+        assert copy.logits_name == model.logits_name
+        assert copy.name.endswith("_copy")
+
+    def test_predict_logits_differs_from_probabilities(self, untrained_lenet,
+                                                       rng):
+        model = untrained_lenet.model
+        x = rng.random((1,) + tuple(model.config["input_shape"]))
+        logits = model.predict_logits(x)
+        probs = model.predict(x)
+        assert not np.allclose(logits, probs)

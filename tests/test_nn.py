@@ -1,0 +1,187 @@
+"""Unit tests for the training engine: initializers, losses, optimizers, trainer."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.graph import Executor, GraphBuilder
+from repro.nn import (
+    Adam,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    SGD,
+    SoftmaxCrossEntropy,
+    Trainer,
+    glorot_uniform,
+    he_normal,
+    ones,
+    truncated_normal,
+    zeros,
+)
+
+
+class TestInitializers:
+    def test_zeros_and_ones(self, rng):
+        assert np.all(zeros(rng, (3, 4)) == 0.0)
+        assert np.all(ones(rng, (5,)) == 1.0)
+
+    def test_glorot_limit_respected(self, rng):
+        w = glorot_uniform(rng, (100, 50))
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_glorot_conv_fan(self, rng):
+        w = glorot_uniform(rng, (3, 3, 8, 16))
+        assert w.shape == (3, 3, 8, 16)
+
+    def test_he_normal_scale(self, rng):
+        w = he_normal(rng, (1000, 10))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.2)
+
+    def test_truncated_normal_clipped(self, rng):
+        w = truncated_normal(rng, (1000,), std=0.1)
+        assert np.all(np.abs(w) <= 0.2 + 1e-12)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        targets = np.array([0, 1])
+        assert SoftmaxCrossEntropy().value(logits, targets) < 1e-4
+
+    def test_cross_entropy_gradient_shape_and_direction(self):
+        logits = np.zeros((2, 3))
+        targets = np.array([0, 2])
+        grad = SoftmaxCrossEntropy().gradient(logits, targets)
+        assert grad.shape == (2, 3)
+        assert grad[0, 0] < 0 and grad[0, 1] > 0
+
+    def test_cross_entropy_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([0, 1, 3])
+        loss = SoftmaxCrossEntropy()
+        grad = loss.gradient(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                plus = loss.value(perturbed, targets)
+                perturbed[i, j] -= 2 * eps
+                minus = loss.value(perturbed, targets)
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps),
+                                                   abs=1e-4)
+
+    def test_mse_value_and_gradient(self):
+        pred = np.array([[1.0], [3.0]])
+        target = np.array([[0.0], [1.0]])
+        loss = MeanSquaredError()
+        assert loss.value(pred, target) == pytest.approx(2.5)
+        np.testing.assert_allclose(loss.gradient(pred, target),
+                                   [[1.0], [2.0]])
+
+    def test_mae(self):
+        pred = np.array([[2.0], [-1.0]])
+        target = np.array([[0.0], [0.0]])
+        assert MeanAbsoluteError().value(pred, target) == pytest.approx(1.5)
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        var = ops.Variable(np.array([1.0]))
+        var.accumulate_grad(np.array([0.5]))
+        SGD(learning_rate=0.1).step([var])
+        assert var.value[0] == pytest.approx(0.95)
+
+    def test_sgd_momentum_accumulates(self):
+        var = ops.Variable(np.array([0.0]))
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        for _ in range(3):
+            var.grad = np.array([1.0])
+            opt.step([var])
+        assert var.value[0] < -0.25  # more than 3 plain steps of 0.1
+
+    def test_adam_converges_on_quadratic(self):
+        var = ops.Variable(np.array([5.0]))
+        opt = Adam(learning_rate=0.2)
+        for _ in range(200):
+            var.grad = 2.0 * var.value  # d/dx of x^2
+            opt.step([var])
+        assert abs(var.value[0]) < 0.1
+
+    def test_untrainable_variables_untouched(self):
+        var = ops.Variable(np.array([1.0]), trainable=False)
+        var.grad = np.array([10.0])
+        SGD(learning_rate=1.0).step([var])
+        assert var.value[0] == 1.0
+
+    def test_gradient_clipping(self):
+        var = ops.Variable(np.array([0.0]))
+        var.grad = np.array([100.0])
+        SGD(learning_rate=0.1, grad_clip=1.0).step([var])
+        assert var.value[0] == pytest.approx(-0.1)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+
+def _regression_graph(seed=3):
+    builder = GraphBuilder("reg", seed=seed)
+    x = builder.input((2,), "input")
+    out = builder.dense(x, 2, 1, name="fc", activation=None)
+    builder.output(out)
+    return builder.graph, out
+
+
+class TestTrainer:
+    def test_learns_linear_regression(self, rng):
+        graph, out = _regression_graph()
+        true_w = np.array([[2.0], [-3.0]])
+        x = rng.normal(size=(200, 2))
+        y = x @ true_w + 0.5
+        trainer = Trainer(graph, MeanSquaredError(), Adam(learning_rate=0.05),
+                          output_node=out)
+        history = trainer.fit(x, y, epochs=30, batch_size=32, seed=0)
+        assert history.final_loss < 0.05
+        learned = graph.node("fc/weight").op.value
+        np.testing.assert_allclose(learned, true_w, atol=0.2)
+
+    def test_loss_decreases(self, rng):
+        graph, out = _regression_graph(seed=4)
+        x = rng.normal(size=(100, 2))
+        y = (x.sum(axis=1, keepdims=True) > 0).astype(float)
+        trainer = Trainer(graph, MeanSquaredError(), SGD(learning_rate=0.05),
+                          output_node=out)
+        history = trainer.fit(x, y, epochs=10, batch_size=25, seed=0)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_mismatched_lengths_rejected(self, rng):
+        graph, out = _regression_graph(seed=5)
+        trainer = Trainer(graph, MeanSquaredError(), SGD(), output_node=out)
+        with pytest.raises(ValueError):
+            trainer.fit(rng.normal(size=(10, 2)), rng.normal(size=(9, 1)))
+
+    def test_classification_training_improves_accuracy(self, rng):
+        builder = GraphBuilder("clf", seed=0)
+        x = builder.input((4,), "input")
+        h = builder.dense(x, 4, 8, name="fc1")
+        logits = builder.dense(h, 8, 2, name="fc2", activation=None)
+        builder.output(logits)
+        # Linearly separable synthetic task.
+        features = rng.normal(size=(300, 4))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+        trainer = Trainer(builder.graph, SoftmaxCrossEntropy(),
+                          Adam(learning_rate=0.02), output_node=logits)
+        trainer.fit(features, labels, epochs=15, batch_size=32, seed=0)
+        result = Executor(builder.graph).run({"input": features},
+                                             outputs=[logits])
+        accuracy = (result.output(logits).argmax(1) == labels).mean()
+        assert accuracy > 0.9
+
+    def test_requires_single_placeholder(self):
+        g = GraphBuilder("two_inputs", seed=0)
+        g.input((2,), "a")
+        g.input((2,), "b")
+        with pytest.raises(ValueError):
+            Trainer(g.graph, MeanSquaredError(), SGD())

@@ -1,0 +1,169 @@
+"""Unit tests for activation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ops
+
+
+class TestReLU:
+    def test_positive_values_pass_through(self):
+        x = np.array([0.5, 2.0, 100.0])
+        np.testing.assert_array_equal(ops.ReLU().forward(x), x)
+
+    def test_negative_values_zeroed(self):
+        x = np.array([-0.5, -2.0, 0.0])
+        np.testing.assert_array_equal(ops.ReLU().forward(x),
+                                      np.array([0.0, 0.0, 0.0]))
+
+    def test_backward_masks_negative_inputs(self):
+        x = np.array([-1.0, 1.0, 2.0])
+        grad = np.ones_like(x)
+        (dx,) = ops.ReLU().backward(grad, [x], ops.ReLU().forward(x))
+        np.testing.assert_array_equal(dx, np.array([0.0, 1.0, 1.0]))
+
+    def test_is_unbounded(self):
+        assert ops.ReLU.inherent_bounds is None
+
+    def test_category_is_activation(self):
+        assert ops.ReLU().category == "activation"
+
+
+class TestTanhSigmoid:
+    def test_tanh_bounds(self):
+        assert ops.Tanh.inherent_bounds == (-1.0, 1.0)
+        out = ops.Tanh().forward(np.array([-100.0, 0.0, 100.0]))
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    def test_sigmoid_bounds(self):
+        assert ops.Sigmoid.inherent_bounds == (0.0, 1.0)
+        out = ops.Sigmoid().forward(np.array([-100.0, 0.0, 100.0]))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_tanh_backward_matches_derivative(self):
+        x = np.linspace(-2, 2, 9)
+        op = ops.Tanh()
+        out = op.forward(x)
+        (dx,) = op.backward(np.ones_like(x), [x], out)
+        np.testing.assert_allclose(dx, 1.0 - np.tanh(x) ** 2, atol=1e-12)
+
+    def test_sigmoid_midpoint(self):
+        assert ops.Sigmoid().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestELU:
+    def test_positive_identity(self):
+        x = np.array([0.1, 1.0, 5.0])
+        np.testing.assert_array_equal(ops.ELU().forward(x), x)
+
+    def test_negative_bounded_below(self):
+        out = ops.ELU(alpha=1.0).forward(np.array([-100.0]))
+        assert out[0] == pytest.approx(-1.0, abs=1e-6)
+
+    def test_backward_positive_side(self):
+        x = np.array([2.0])
+        op = ops.ELU()
+        (dx,) = op.backward(np.array([1.0]), [x], op.forward(x))
+        assert dx[0] == pytest.approx(1.0)
+
+    def test_alpha_in_config(self):
+        assert ops.ELU(alpha=0.5).config() == {"alpha": 0.5}
+
+
+class TestAtan:
+    def test_bounded_to_half_pi(self):
+        out = ops.Atan().forward(np.array([-1e9, 1e9]))
+        assert out[0] == pytest.approx(-np.pi / 2, abs=1e-6)
+        assert out[1] == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_scaled_atan_doubles_range(self):
+        op = ops.ScaledAtan(scale=2.0)
+        out = op.forward(np.array([1e9]))
+        assert out[0] == pytest.approx(np.pi, abs=1e-5)
+        assert op.inherent_bounds == (-np.pi, np.pi)
+
+    def test_small_input_sensitivity(self):
+        # The paper's observation: near the origin, atan is steep relative to
+        # its bounded output range, so small input deviations translate into
+        # a large fraction of the output range.
+        op = ops.ScaledAtan(scale=2.0)
+        base = op.forward(np.array([0.0]))[0]
+        deviated = op.forward(np.array([5.0]))[0]
+        assert abs(deviated - base) > 0.8 * np.pi / 2
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        out = ops.Softmax().forward(x)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 5))
+        sm = ops.Softmax()
+        np.testing.assert_allclose(sm.forward(x), sm.forward(x + 100.0),
+                                   atol=1e-12)
+
+    def test_handles_large_values_without_overflow(self):
+        out = ops.Softmax().forward(np.array([[1e30, 0.0, -1e30]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_not_an_activation_category(self):
+        # Ranger must not treat the output softmax as a protectable activation.
+        assert ops.Softmax().category == "output"
+
+
+class TestLeakyReLU:
+    def test_negative_slope(self):
+        out = ops.LeakyReLU(alpha=0.1).forward(np.array([-10.0]))
+        assert out[0] == pytest.approx(-1.0)
+
+    def test_backward(self):
+        op = ops.LeakyReLU(alpha=0.2)
+        x = np.array([-1.0, 3.0])
+        (dx,) = op.backward(np.ones(2), [x], op.forward(x))
+        np.testing.assert_allclose(dx, [0.2, 1.0])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "elu",
+                                      "leaky_relu", "atan"])
+    def test_make_activation_known(self, name):
+        op = ops.make_activation(name)
+        assert op.category == "activation"
+
+    def test_make_activation_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            ops.make_activation("swishh")
+
+    def test_kwargs_forwarded(self):
+        op = ops.make_activation("elu", alpha=0.3)
+        assert op.alpha == 0.3
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                max_size=32))
+@settings(max_examples=50, deadline=None)
+def test_monotonicity_of_relu(values):
+    """ReLU is monotone: larger inputs never produce smaller outputs.
+
+    This is the property (from BinFI / the paper's Section III-B) on which
+    the whole range-restriction argument rests.
+    """
+    x = np.array(sorted(values))
+    out = ops.ReLU().forward(x)
+    assert np.all(np.diff(out) >= 0.0)
+
+
+@given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1,
+                max_size=32))
+@settings(max_examples=50, deadline=None)
+def test_monotonicity_of_bounded_activations(values):
+    """Tanh / Sigmoid / Atan are monotone as well."""
+    x = np.array(sorted(values))
+    for op in (np.tanh, lambda v: 1 / (1 + np.exp(-v)), np.arctan):
+        out = op(x)
+        assert np.all(np.diff(out) >= -1e-12)

@@ -1,0 +1,251 @@
+"""Unit tests for dense / arithmetic / reshape / normalization operators."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from tests.test_ops_conv_pool import numerical_gradient
+
+
+class TestMatMulBias:
+    def test_matmul_result(self, rng):
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(ops.MatMul().forward(x, w), x @ w)
+
+    def test_matmul_shape_mismatch(self, rng):
+        with pytest.raises(ops.OperatorError):
+            ops.MatMul().forward(rng.normal(size=(4, 3)),
+                                 rng.normal(size=(4, 5)))
+
+    def test_matmul_gradients(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 2))
+        op = ops.MatMul()
+        out = op.forward(x, w)
+        upstream = rng.normal(size=out.shape)
+        grad_x, grad_w = op.backward(upstream, [x, w], out)
+        num_x = numerical_gradient(
+            lambda v: float(np.sum(op.forward(v, w) * upstream)), x.copy())
+        num_w = numerical_gradient(
+            lambda v: float(np.sum(op.forward(x, v) * upstream)), w.copy())
+        np.testing.assert_allclose(grad_x, num_x, atol=1e-5)
+        np.testing.assert_allclose(grad_w, num_w, atol=1e-5)
+
+    def test_bias_add_broadcasts_over_batch(self, rng):
+        x = rng.normal(size=(4, 3))
+        b = rng.normal(size=(3,))
+        np.testing.assert_allclose(ops.BiasAdd().forward(x, b), x + b)
+
+    def test_bias_add_gradient_sums_over_batch(self, rng):
+        x = rng.normal(size=(4, 3))
+        b = rng.normal(size=(3,))
+        grad = rng.normal(size=(4, 3))
+        _, grad_b = ops.BiasAdd().backward(grad, [x, b], x + b)
+        np.testing.assert_allclose(grad_b, grad.sum(axis=0))
+
+    def test_bias_shape_mismatch(self, rng):
+        with pytest.raises(ops.OperatorError):
+            ops.BiasAdd().forward(rng.normal(size=(2, 3)),
+                                  rng.normal(size=(4,)))
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        np.testing.assert_allclose(ops.Add().forward(a, b), a + b)
+
+    def test_add_gradients_unbroadcast(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(3,))
+        grad = rng.normal(size=(2, 3))
+        grad_a, grad_b = ops.Add().backward(grad, [a, b], a + b)
+        assert grad_a.shape == a.shape
+        assert grad_b.shape == b.shape
+        np.testing.assert_allclose(grad_b, grad.sum(axis=0))
+
+    def test_multiply_gradient(self, rng):
+        a, b = rng.normal(size=(3,)), rng.normal(size=(3,))
+        grad = np.ones(3)
+        grad_a, grad_b = ops.Multiply().backward(grad, [a, b], a * b)
+        np.testing.assert_allclose(grad_a, b)
+        np.testing.assert_allclose(grad_b, a)
+
+    def test_scale(self):
+        out = ops.Scale(2.5).forward(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(out, [2.5, 5.0])
+
+
+class TestClipMinMax:
+    def test_clip_truncates(self):
+        op = ops.ClipByValue(0.0, 10.0)
+        out = op.forward(np.array([-5.0, 5.0, 50.0]))
+        np.testing.assert_allclose(out, [0.0, 5.0, 10.0])
+
+    def test_clip_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            ops.ClipByValue(1.0, 0.0)
+
+    def test_clip_gradient_zero_outside(self):
+        op = ops.ClipByValue(0.0, 1.0)
+        x = np.array([-1.0, 0.5, 2.0])
+        (dx,) = op.backward(np.ones(3), [x], op.forward(x))
+        np.testing.assert_allclose(dx, [0.0, 1.0, 0.0])
+
+    def test_minimum_maximum_are_protection_category(self):
+        assert ops.Minimum().category == "protection"
+        assert ops.Maximum().category == "protection"
+        assert not ops.Minimum().injectable
+
+    def test_minimum_maximum_forward(self):
+        x = np.array([1.0, 5.0])
+        bound = np.array([3.0])
+        np.testing.assert_allclose(ops.Minimum().forward(x, bound), [1.0, 3.0])
+        np.testing.assert_allclose(ops.Maximum().forward(x, bound), [3.0, 5.0])
+
+    def test_clip_flops_two_per_element(self):
+        assert ops.ClipByValue(0, 1).flops([(2, 8)], (2, 8)) == 32
+
+
+class TestReshapeConcat:
+    def test_flatten(self, rng):
+        x = rng.normal(size=(3, 4, 5, 2))
+        assert ops.Flatten().forward(x).shape == (3, 40)
+
+    def test_flatten_backward_restores_shape(self, rng):
+        x = rng.normal(size=(2, 3, 3, 1))
+        op = ops.Flatten()
+        out = op.forward(x)
+        (dx,) = op.backward(np.ones_like(out), [x], out)
+        assert dx.shape == x.shape
+
+    def test_reshape_target(self, rng):
+        x = rng.normal(size=(2, 12))
+        out = ops.Reshape((3, 4)).forward(x)
+        assert out.shape == (2, 3, 4)
+
+    def test_concat_channel_axis(self, rng):
+        a = rng.normal(size=(1, 4, 4, 2))
+        b = rng.normal(size=(1, 4, 4, 3))
+        out = ops.Concatenate(axis=-1).forward(a, b)
+        assert out.shape == (1, 4, 4, 5)
+
+    def test_concat_backward_splits(self, rng):
+        a = rng.normal(size=(1, 2, 2, 2))
+        b = rng.normal(size=(1, 2, 2, 3))
+        op = ops.Concatenate(axis=-1)
+        out = op.forward(a, b)
+        grads = op.backward(out, [a, b], out)
+        np.testing.assert_allclose(grads[0], a)
+        np.testing.assert_allclose(grads[1], b)
+
+    def test_concat_requires_inputs(self):
+        with pytest.raises(ops.OperatorError):
+            ops.Concatenate().forward()
+
+    def test_pad2d(self, rng):
+        x = rng.normal(size=(1, 3, 3, 1))
+        out = ops.Pad2D((1, 1), (2, 2)).forward(x)
+        assert out.shape == (1, 5, 7, 1)
+        assert out[0, 0, 0, 0] == 0.0
+
+    def test_reshape_and_concat_categories(self):
+        # Categories drive Ranger's bound-extension logic.
+        assert ops.Flatten().category == "reshape"
+        assert ops.Reshape((2,)).category == "reshape"
+        assert ops.Concatenate().category == "concat"
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        x = rng.normal(size=(4, 10))
+        op = ops.Dropout(rate=0.5, seed=0)
+        op.training = False
+        np.testing.assert_array_equal(op.forward(x), x)
+
+    def test_drops_values_in_training(self, rng):
+        x = np.ones((1, 1000))
+        op = ops.Dropout(rate=0.5, seed=0)
+        op.training = True
+        out = op.forward(x)
+        dropped = np.sum(out == 0.0)
+        assert 350 < dropped < 650  # roughly half
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ops.Dropout(rate=1.0)
+
+
+class TestBatchNorm:
+    def test_inference_uses_moving_statistics(self, rng):
+        op = ops.BatchNorm()
+        x = rng.normal(size=(8, 4)) * 3.0 + 1.0
+        gamma, beta = np.ones(4), np.zeros(4)
+        op.training = True
+        op.forward(x, gamma, beta)
+        op.training = False
+        out = op.forward(x, gamma, beta)
+        assert out.shape == x.shape
+
+    def test_training_normalizes_batch(self, rng):
+        op = ops.BatchNorm()
+        op.training = True
+        x = rng.normal(size=(64, 3)) * 5.0 + 2.0
+        out = op.forward(x, np.ones(3), np.zeros(3))
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_parameter_shape_mismatch(self, rng):
+        with pytest.raises(ops.OperatorError):
+            ops.BatchNorm().forward(rng.normal(size=(2, 3)), np.ones(4),
+                                    np.zeros(4))
+
+    def test_gamma_beta_gradients(self, rng):
+        op = ops.BatchNorm()
+        op.training = True
+        x = rng.normal(size=(16, 3))
+        gamma, beta = rng.normal(size=3), rng.normal(size=3)
+        out = op.forward(x, gamma, beta)
+        grad = rng.normal(size=out.shape)
+        _, grad_gamma, grad_beta = op.backward(grad, [x, gamma, beta], out)
+        assert grad_gamma.shape == (3,)
+        np.testing.assert_allclose(grad_beta, grad.sum(axis=0))
+
+
+class TestLocalResponseNorm:
+    def test_preserves_shape(self, rng):
+        x = rng.normal(size=(2, 4, 4, 8))
+        out = ops.LocalResponseNorm().forward(x)
+        assert out.shape == x.shape
+
+    def test_shrinks_large_activations(self):
+        x = np.full((1, 1, 1, 4), 100.0)
+        out = ops.LocalResponseNorm(alpha=1e-2).forward(x)
+        assert np.all(np.abs(out) < 100.0)
+
+    def test_zero_input_stays_zero(self):
+        x = np.zeros((1, 2, 2, 3))
+        np.testing.assert_array_equal(ops.LocalResponseNorm().forward(x), x)
+
+
+class TestVariablesConstants:
+    def test_variable_accumulates_gradients(self):
+        var = ops.Variable(np.zeros(3))
+        var.accumulate_grad(np.ones(3))
+        var.accumulate_grad(np.ones(3))
+        np.testing.assert_allclose(var.grad, 2 * np.ones(3))
+        var.zero_grad()
+        assert var.grad is None
+
+    def test_constant_returns_value(self):
+        c = ops.Constant(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(c.forward(), [1.0, 2.0])
+
+    def test_placeholder_cannot_execute(self):
+        with pytest.raises(ops.OperatorError):
+            ops.Placeholder("x").forward()
+
+    def test_not_injectable(self):
+        assert not ops.Variable(np.zeros(1)).injectable
+        assert not ops.Constant(np.zeros(1)).injectable
+        assert not ops.Placeholder("x").injectable
