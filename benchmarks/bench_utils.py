@@ -22,3 +22,20 @@ def run_and_report(benchmark, experiment_fn, scale, **kwargs):
         handle.write(f"{result.paper_reference} — {result.name}\n\n")
         handle.write(result.rendered + "\n")
     return result
+
+
+def guard_minimum(result, label, value, minimum):
+    """Performance regression guard: fail when ``value`` drops below ``minimum``.
+
+    The measured value is appended to the experiment's persisted results file
+    for this run (:func:`run_and_report` rewrites the file at the start of
+    each run, like every fig/table output); the cross-PR perf trajectory is
+    the git history of ``benchmarks/results/``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.name}.txt")
+    with open(path, "a") as handle:
+        handle.write(f"guard: {label} = {value:.2f} (minimum {minimum})\n")
+    assert value >= minimum, (
+        f"performance regression: {label} = {value:.2f}, expected >= "
+        f"{minimum} (see {path})")

@@ -87,7 +87,17 @@ class ActivationProfiler:
             raise ValueError(
                 f"model '{self.model.name}' has no activation layers to profile")
 
+        if not observations:
+            # Every activation is inherently bounded: no forward passes are
+            # needed to know the ranges.
+            return BoundsProfile(model_name=self.model.name,
+                                 observations=observations, inherent=inherent,
+                                 samples_used=len(inputs))
         executor = self.model.executor()
+        # Dependency-pruned execution: profiling only needs the activations,
+        # so request exactly the observed nodes — the executor evaluates the
+        # union of their ancestors and skips the classifier/regression head.
+        observed_nodes = list(observations)
 
         def observer(node: Node, output: np.ndarray) -> None:
             if node.name in observations:
@@ -98,7 +108,7 @@ class ActivationProfiler:
             for start in range(0, len(inputs), batch_size):
                 batch = inputs[start:start + batch_size]
                 executor.run({self.model.input_name: batch},
-                             outputs=[self.model.output_name])
+                             outputs=observed_nodes)
         finally:
             executor.remove_observer(observer)
 
@@ -129,6 +139,8 @@ class ActivationProfiler:
         nodes = [node.name for node in self._activation_nodes()
                  if not (isinstance(node.op, Activation)
                          and node.op.inherent_bounds is not None)]
+        if not nodes:
+            return {}
         running_max = {name: -np.inf for name in nodes}
         curves: Dict[str, List[float]] = {name: [] for name in nodes}
         executor = self.model.executor()
@@ -145,8 +157,9 @@ class ActivationProfiler:
             next_checkpoint = next(checkpoint_iter)
             for start in range(0, len(inputs), batch_size):
                 batch = inputs[start:start + batch_size]
+                # Pruned execution: the curves only need the activations.
                 executor.run({self.model.input_name: batch},
-                             outputs=[self.model.output_name])
+                             outputs=nodes)
                 processed += len(batch)
                 while next_checkpoint is not None and processed >= next_checkpoint:
                     for name in nodes:

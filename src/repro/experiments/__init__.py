@@ -27,6 +27,7 @@ from .sdc_experiments import (
     run_fig11_multibit_classifiers,
     run_fig12_multibit_steering,
 )
+from .throughput_experiments import run_campaign_throughput
 from .tradeoff_experiments import (
     run_fig10_bound_tradeoff,
     run_sec6c_design_alternatives,
@@ -42,6 +43,7 @@ __all__ = [
     "protect_with_ranger",
     "results_to_markdown",
     "run_all_experiments",
+    "run_campaign_throughput",
     "run_fig4_bound_convergence",
     "run_fig6_classifier_sdc",
     "run_fig7_steering_sdc",

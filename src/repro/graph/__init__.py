@@ -7,6 +7,7 @@ from .executor import (
     Executor,
     Observer,
     OutputHook,
+    bit_identical,
     set_training_mode,
 )
 from .builder import GraphBuilder
@@ -21,5 +22,6 @@ __all__ = [
     "Node",
     "Observer",
     "OutputHook",
+    "bit_identical",
     "set_training_mode",
 ]

@@ -17,7 +17,8 @@ concerns meet:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple, Union)
 
 import numpy as np
 
@@ -48,12 +49,35 @@ class DTypePolicy:
         return value
 
 
+def bit_identical(a: Array, b: Array) -> bool:
+    """True when two arrays hold exactly the same bits.
+
+    Raw-byte comparison, deliberately stricter than ``==``: NaNs with equal
+    payloads compare equal (deterministic operators on identical bits give
+    identical bits downstream), while ``-0.0`` and ``0.0`` compare unequal
+    (they are different bit patterns).  Both directions are safe for change
+    propagation, and a single memcmp is cheaper than an elementwise pass.
+    """
+    if a is b:
+        return True
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return (a.shape == b.shape and a.dtype == b.dtype
+            and a.tobytes() == b.tobytes())
+
+
 @dataclass
 class ExecutionResult:
-    """Outputs of one forward pass plus the cached per-node values."""
+    """Outputs of one forward pass plus the cached per-node values.
+
+    ``recomputed`` is populated by partial re-execution
+    (:meth:`Executor.run_from`) with the names of the nodes that were
+    actually re-evaluated; everything else came from the supplied cache.
+    """
 
     outputs: Dict[str, Array]
     values: Dict[str, Array]
+    recomputed: Optional[Set[str]] = None
 
     def output(self, name: Optional[str] = None) -> Array:
         if name is not None:
@@ -103,8 +127,18 @@ class Executor:
 
     # -- execution -------------------------------------------------------------
 
+    def _evaluate(self, node: Node, out: Array) -> Array:
+        """Apply the dtype policy, output hooks and observers to one output."""
+        out = self.dtype_policy.apply(node, out)
+        for hook in self._output_hooks:
+            out = hook(node, out)
+        for observer in self._observers:
+            observer(node, out)
+        return out
+
     def run(self, feed: Optional[Mapping[str, Array]] = None,
-            outputs: Optional[Sequence[str]] = None) -> ExecutionResult:
+            outputs: Optional[Sequence[str]] = None,
+            prune: bool = True) -> ExecutionResult:
         """Run a forward pass.
 
         Parameters
@@ -113,14 +147,26 @@ class Executor:
             Mapping from placeholder node names to input arrays.
         outputs:
             Node names to report; defaults to the graph's marked outputs.
+        prune:
+            When True (default), only the ancestor set of the requested
+            outputs is evaluated — nodes the outputs do not depend on are
+            skipped entirely (they are absent from ``result.values`` and
+            hooks/observers never see them).  Pass False to force the old
+            whole-graph evaluation.
         """
         feed = dict(feed or {})
         requested = list(outputs) if outputs is not None else list(self.graph.outputs)
         if not requested:
             raise GraphError("graph has no outputs and none were requested")
+        missing = [name for name in requested if name not in self.graph]
+        if missing:
+            raise GraphError(f"requested outputs not in graph: {missing}")
+        needed = self.graph.ancestors(requested) if prune else None
         values: Dict[str, Array] = {}
 
         for node in self.graph:
+            if needed is not None and node.name not in needed:
+                continue
             if isinstance(node.op, Placeholder):
                 key = node.name
                 if key not in feed:
@@ -130,19 +176,160 @@ class Executor:
             else:
                 args = [values[i] for i in node.inputs]
                 out = node.op.forward(*args)
-            out = self.dtype_policy.apply(node, out)
-            for hook in self._output_hooks:
-                out = hook(node, out)
-            for observer in self._observers:
-                observer(node, out)
-            values[node.name] = out
+            values[node.name] = self._evaluate(node, out)
 
-        missing = [name for name in requested if name not in values]
-        if missing:
-            raise GraphError(f"requested outputs not in graph: {missing}")
         return ExecutionResult(
             outputs={name: values[name] for name in requested},
             values=values,
+        )
+
+    def run_from(self, cached_values: Mapping[str, Array],
+                 dirty: Union[str, Iterable[str]] = (),
+                 outputs: Optional[Sequence[str]] = None,
+                 feed: Optional[Mapping[str, Array]] = None,
+                 dirty_values: Optional[Mapping[str, Array]] = None,
+                 ) -> ExecutionResult:
+        """Partial re-execution from a per-node activation cache.
+
+        Resumes a forward pass from ``cached_values`` (the ``values`` of a
+        previous :meth:`run` over the same graph), re-evaluating only the
+        downstream cone of the dirty set that the requested outputs depend
+        on.  Everything upstream keeps its cached value bit-for-bit, which
+        is what makes fault-injection campaigns cheap: a fault at node *k*
+        can only perturb descendants of *k*.
+
+        The dirty set is seeded two ways:
+
+        * ``dirty`` — node names whose operators must be *re-evaluated*
+          (e.g. a variable whose weights changed);
+        * ``dirty_values`` — node name → replacement output.  The value is
+          installed as-is, **without** re-running the operator or applying
+          the dtype policy / hooks (it is taken to be a final, already
+          policy-processed value).  This is how the fault injector swaps a
+          corrupted copy of a cached activation in for free instead of
+          paying for the fault node's forward pass again.
+
+        Re-execution propagates *change* rather than mere reachability: a
+        re-evaluated node whose output is bit-identical to its cached value
+        (a fault squashed by a ReLU, a max-pool, or a Ranger clip) stops
+        dirtying its consumers, and the pass terminates early once no dirty
+        value remains — so the result is bit-identical to a full run while
+        often touching only a handful of nodes.
+
+        The dtype policy, output hooks and observers are applied to every
+        re-evaluated node exactly as in :meth:`run`; cached nodes already
+        carry their policy-processed values and are not revisited.  Note
+        that non-deterministic operators (e.g. the ``"random"``
+        out-of-bound policy) draw fresh randomness when re-evaluated, just
+        as they would in any fresh full run.
+
+        Parameters
+        ----------
+        cached_values:
+            Node-name → activation mapping from a prior fault-free run.
+        dirty:
+            Node name(s) whose operators must be re-evaluated.
+        outputs:
+            Node names to report; defaults to the graph's marked outputs.
+        feed:
+            Only needed when a placeholder itself is marked dirty.
+        dirty_values:
+            Node name → replacement output installed without re-evaluation.
+        """
+        feed = dict(feed or {})
+        requested = list(outputs) if outputs is not None else list(self.graph.outputs)
+        if not requested:
+            raise GraphError("graph has no outputs and none were requested")
+        overrides = dict(dirty_values or {})
+        reeval_seeds = ({dirty} if isinstance(dirty, str) else set(dirty))
+        reeval_seeds -= set(overrides)
+        seeds = reeval_seeds | set(overrides)
+        for name in seeds:
+            if name not in self.graph:
+                raise GraphError(f"unknown dirty node '{name}'")
+
+        values: Dict[str, Array] = dict(cached_values)
+        recomputed: Set[str] = set()
+        live_dirty: Set[str] = set()
+
+        dirty_overrides: List[str] = []
+        for name, value in overrides.items():
+            values[name] = value
+            cached = cached_values.get(name)
+            if cached is None or not bit_identical(value, cached):
+                live_dirty.add(name)
+                dirty_overrides.append(name)
+
+        if not seeds or (not live_dirty and not reeval_seeds):
+            # Nothing can change: every requested output is cached.
+            missing = [name for name in requested if name not in values]
+            if missing:
+                raise GraphError(
+                    f"run_from(): requested outputs not in the cache: "
+                    f"{missing}")
+            return ExecutionResult(
+                outputs={name: values[name] for name in requested},
+                values=values, recomputed=recomputed)
+
+        cone = self.graph.downstream(seeds)
+        needed = self.graph.ancestors(requested)
+        recompute = (cone & needed) - set(overrides)
+        pending_seeds = len(reeval_seeds & recompute)
+        topo = self.graph.topo_index()
+
+        # A dirty value stops mattering once its last consumer inside the
+        # recompute set has been visited; tracking that horizon lets the
+        # loop break as soon as no remaining node can see a dirty input
+        # (e.g. a fault masked by the first ReLU after the fault site).
+        def influence_horizon(name: str) -> int:
+            return max((topo[c] for c in self.graph.successors(name)
+                        if c in recompute), default=-1)
+
+        last_dirty_use = max((influence_horizon(name)
+                              for name in dirty_overrides), default=-1)
+
+        for name in sorted(recompute, key=topo.__getitem__):
+            position = topo[name]
+            if not pending_seeds and position > last_dirty_use:
+                break  # no remaining node can have a dirty input
+            node = self.graph.node(name)
+            is_seed = name in reeval_seeds
+            if not is_seed and not any(i in live_dirty for i in node.inputs):
+                continue  # every input is clean: the cached value stands
+            if isinstance(node.op, Placeholder):
+                if name not in feed:
+                    raise GraphError(
+                        f"placeholder '{name}' is dirty but no value was fed")
+                out = np.asarray(feed[name], dtype=np.float64)
+            else:
+                try:
+                    args = [values[i] for i in node.inputs]
+                except KeyError as exc:
+                    raise GraphError(
+                        f"run_from(): no cached value for input {exc} of "
+                        f"node '{name}'") from None
+                out = node.op.forward(*args)
+            out = self._evaluate(node, out)
+            values[name] = out
+            recomputed.add(name)
+            if is_seed:
+                pending_seeds -= 1
+            cached = cached_values.get(name)
+            if cached is not None and bit_identical(out, cached):
+                live_dirty.discard(name)  # the change was masked
+            else:
+                live_dirty.add(name)
+                last_dirty_use = max(last_dirty_use, influence_horizon(name))
+
+        missing = [name for name in requested if name not in values]
+        if missing:
+            raise GraphError(
+                f"run_from(): requested outputs missing from both the cache "
+                f"and the recomputed cone: {missing}")
+        return ExecutionResult(
+            outputs={name: values[name] for name in requested},
+            values=values,
+            recomputed=recomputed,
         )
 
     # -- training ---------------------------------------------------------------

@@ -15,7 +15,8 @@ for the Ranger reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Sequence, Set, Tuple, Union)
 
 import numpy as np
 
@@ -62,6 +63,17 @@ class Graph:
         self._nodes: Dict[str, Node] = {}
         self._order: List[str] = []
         self.outputs: List[str] = []
+        #: Forward adjacency, maintained incrementally by :meth:`add` (the
+        #: graph is append-only, so it never needs invalidation).  This is
+        #: what makes the cone queries below O(V+E) instead of the old
+        #: O(N^2) consumer scans.
+        self._succ: Dict[str, List[str]] = {}
+        #: Per-node cone memos; cleared whenever a node is added (an append
+        #: can extend existing cones).  Campaign graphs are static, so the
+        #: per-trial cone queries all hit these.
+        self._downstream_memo: Dict[str, Set[str]] = {}
+        self._ancestors_memo: Dict[str, Set[str]] = {}
+        self._topo_index: Optional[Dict[str, int]] = None
 
     # -- construction ------------------------------------------------------
 
@@ -82,6 +94,14 @@ class Graph:
         node = Node(name=name, op=op, inputs=tuple(inputs))
         self._nodes[name] = node
         self._order.append(name)
+        self._succ[name] = []
+        for inp in node.inputs:
+            self._succ[inp].append(name)
+        if self._downstream_memo:
+            self._downstream_memo.clear()
+        if self._ancestors_memo:
+            self._ancestors_memo.clear()
+        self._topo_index = None
         return name
 
     def unique_name(self, base: str) -> str:
@@ -123,6 +143,12 @@ class Graph:
     def topological_order(self) -> List[str]:
         return list(self._order)
 
+    def topo_index(self) -> Mapping[str, int]:
+        """Node name → position in topological order (memoized)."""
+        if self._topo_index is None:
+            self._topo_index = {name: i for i, name in enumerate(self._order)}
+        return self._topo_index
+
     def placeholders(self) -> List[Node]:
         return [n for n in self if isinstance(n.op, Placeholder)]
 
@@ -131,7 +157,87 @@ class Graph:
 
     def consumers(self, name: str) -> List[Node]:
         """Nodes that take ``name`` as a direct input."""
-        return [n for n in self if name in n.inputs]
+        if name not in self._nodes:
+            raise GraphError(f"unknown node '{name}'")
+        seen: Set[str] = set()
+        out: List[Node] = []
+        for consumer in self._succ[name]:
+            if consumer not in seen:
+                seen.add(consumer)
+                out.append(self._nodes[consumer])
+        return out
+
+    def successors(self, name: str) -> List[str]:
+        """Names of the direct consumers of ``name`` (duplicates preserved)."""
+        if name not in self._nodes:
+            raise GraphError(f"unknown node '{name}'")
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Names of the direct inputs of ``name``."""
+        return list(self.node(name).inputs)
+
+    # -- cone queries (O(V+E) breadth-first searches) -----------------------
+
+    def downstream(self, starts: Union[str, Iterable[str]]) -> Set[str]:
+        """All nodes reachable from ``starts`` (including the starts).
+
+        This is the *fault cone* of a set of nodes: the only nodes whose
+        values can change when the starts' outputs change.  Built on the
+        precomputed forward adjacency and memoized per start node, so a
+        campaign's per-trial cone queries cost O(V+E) once per fault site
+        rather than the O(N^2) fixpoint the injector used previously.
+        """
+        names = [starts] if isinstance(starts, str) else list(starts)
+        reached: Set[str] = set()
+        for name in names:
+            reached |= self._downstream_one(name)
+        return reached
+
+    def _downstream_one(self, start: str) -> Set[str]:
+        memo = self._downstream_memo.get(start)
+        if memo is None:
+            if start not in self._nodes:
+                raise GraphError(f"unknown node '{start}'")
+            memo = {start}
+            frontier = [start]
+            while frontier:
+                name = frontier.pop()
+                for consumer in self._succ[name]:
+                    if consumer not in memo:
+                        memo.add(consumer)
+                        frontier.append(consumer)
+            self._downstream_memo[start] = memo
+        return memo
+
+    def ancestors(self, targets: Union[str, Iterable[str]]) -> Set[str]:
+        """All nodes that ``targets`` depend on (including the targets).
+
+        The executor uses this to prune a forward pass down to the nodes
+        actually needed for the requested outputs.  Memoized per target
+        node, like :meth:`downstream`.
+        """
+        names = [targets] if isinstance(targets, str) else list(targets)
+        reached: Set[str] = set()
+        for name in names:
+            reached |= self._ancestors_one(name)
+        return reached
+
+    def _ancestors_one(self, target: str) -> Set[str]:
+        memo = self._ancestors_memo.get(target)
+        if memo is None:
+            if target not in self._nodes:
+                raise GraphError(f"unknown node '{target}'")
+            memo = {target}
+            frontier = [target]
+            while frontier:
+                name = frontier.pop()
+                for inp in self._nodes[name].inputs:
+                    if inp not in memo:
+                        memo.add(inp)
+                        frontier.append(inp)
+            self._ancestors_memo[target] = memo
+        return memo
 
     def num_parameters(self) -> int:
         return int(sum(v.value.size for v in self.variables()))

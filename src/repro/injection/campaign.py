@@ -38,6 +38,18 @@ class CampaignResult:
     sdc_counts: Dict[str, int]
     detected_count: int = 0
     faults: List[List[FaultSpec]] = field(default_factory=list)
+    #: Incremental-execution statistics: how many node evaluations the
+    #: campaign actually performed vs. what full re-execution would have
+    #: performed.  Both stay 0 when the campaign ran in full mode.
+    nodes_recomputed: int = 0
+    nodes_full: int = 0
+
+    @property
+    def recompute_fraction(self) -> Optional[float]:
+        """Fraction of node evaluations partial re-execution paid for."""
+        if self.nodes_full == 0:
+            return None
+        return self.nodes_recomputed / self.nodes_full
 
     def sdc_rate(self, criterion: str) -> float:
         """SDC rate (fraction in [0, 1]) for one criterion."""
@@ -115,17 +127,46 @@ class FaultInjectionCampaign:
         self._executor = model.executor(dtype_policy)
         self.injector.profile_state_space(self.inputs[:1], self._executor)
         self._golden = self._compute_golden_outputs()
+        #: Per-input golden activation caches for partial re-execution,
+        #: built lazily the first time a trial uses an input.
+        self._golden_caches: Dict[int, Dict[str, np.ndarray]] = {}
 
     # -- setup ------------------------------------------------------------------
 
     def _compute_golden_outputs(self) -> List[np.ndarray]:
-        golden = []
-        for i in range(len(self.inputs)):
-            batch = self.inputs[i:i + 1]
+        """Golden (fault-free) output per input, in one batched forward pass.
+
+        Batched rows can differ from batch-1 runs in the last ulp (BLAS
+        blocking), so these goldens are for *SDC classification only* —
+        argmax / threshold comparisons, which a last-ulp difference cannot
+        realistically flip.  Both the incremental and the full campaign
+        paths compare faulty outputs against these same values, so the
+        paths remain exactly equivalent to each other; bit-exact golden
+        activations (for partial re-execution) come from the batch-1
+        caches built by :meth:`_golden_cache`.
+        """
+        result = self._executor.run({self.model.input_name: self.inputs},
+                                    outputs=[self.model.output_name])
+        output = result.output(self.model.output_name)
+        return [output[i:i + 1] for i in range(len(self.inputs))]
+
+    def _golden_cache(self, input_index: int) -> Dict[str, np.ndarray]:
+        """The full activation cache of input ``input_index``, built once.
+
+        Caches are built at batch size 1 — the batch size every trial runs
+        at — rather than sliced out of one batched pass: BLAS kernels pick
+        different blocking for different batch shapes, so batched rows can
+        differ from single-example runs in the last ulp, which would break
+        the bit-identical guarantee of partial re-execution.
+        """
+        cache = self._golden_caches.get(input_index)
+        if cache is None:
+            batch = self.inputs[input_index:input_index + 1]
             result = self._executor.run({self.model.input_name: batch},
                                         outputs=[self.model.output_name])
-            golden.append(result.output(self.model.output_name))
-        return golden
+            cache = result.values
+            self._golden_caches[input_index] = cache
+        return cache
 
     # -- plan generation -----------------------------------------------------------
 
@@ -134,32 +175,56 @@ class FaultInjectionCampaign:
         """Pre-sample (input index, injection plan) pairs for ``trials`` runs.
 
         Sharing the returned list between the unprotected and protected
-        campaigns makes the comparison paired.
+        campaigns makes the comparison paired.  Input indices and fault
+        sites are each drawn in a single vectorized call.
         """
         rng = np.random.default_rng(self.seed + 1)
-        plans = []
-        for _ in range(trials):
-            input_index = int(rng.integers(len(self.inputs)))
-            plans.append((input_index, self.injector.sample_plan()))
-        return plans
+        input_indices = rng.integers(len(self.inputs), size=trials)
+        plans = self.injector.sample_plans(trials)
+        return [(int(index), plan)
+                for index, plan in zip(input_indices, plans)]
 
     # -- execution -----------------------------------------------------------------
 
     def run(self, trials: int = 100,
             plans: Optional[List[Tuple[int, InjectionPlan]]] = None,
-            keep_faults: bool = False) -> CampaignResult:
-        """Run the campaign and return aggregated SDC statistics."""
+            keep_faults: bool = False,
+            incremental: bool = True) -> CampaignResult:
+        """Run the campaign and return aggregated SDC statistics.
+
+        Parameters
+        ----------
+        incremental:
+            When True (default), each input's golden activation cache is
+            built once and every trial is replayed by partial re-execution
+            of the fault's downstream cone (bit-identical to a full faulty
+            run).  When False, every trial re-executes the whole graph —
+            the legacy path, kept for equivalence testing and benchmarking.
+        """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
         if plans is None:
             plans = self.generate_plans(trials)
         sdc_counts = {criterion.name: 0 for criterion in self.criteria}
         fault_log: List[List[FaultSpec]] = []
+        # Per-trial cost of the full path: the ancestor-pruned subgraph it
+        # actually evaluates, not the whole graph.
+        full_cost = len(self.model.graph.ancestors([self.model.output_name]))
+        nodes_recomputed = 0
+        nodes_full = 0
 
         for input_index, plan in plans:
-            batch = self.inputs[input_index:input_index + 1]
             golden = self._golden[input_index]
-            faulty, faults = self.injector.inject(self._executor, batch, plan)
+            if incremental:
+                cache = self._golden_cache(input_index)
+                faulty, faults, result = self.injector.inject_cached(
+                    self._executor, cache, plan)
+                nodes_recomputed += len(result.recomputed or ())
+                nodes_full += full_cost
+            else:
+                batch = self.inputs[input_index:input_index + 1]
+                faulty, faults = self.injector.inject(self._executor, batch,
+                                                      plan)
             for criterion in self.criteria:
                 if criterion.is_sdc(golden, faulty):
                     sdc_counts[criterion.name] += 1
@@ -169,7 +234,9 @@ class FaultInjectionCampaign:
         return CampaignResult(model_name=self.model.name,
                               fault_model=self.fault_model.describe(),
                               trials=len(plans), sdc_counts=sdc_counts,
-                              faults=fault_log)
+                              faults=fault_log,
+                              nodes_recomputed=nodes_recomputed,
+                              nodes_full=nodes_full)
 
 
 def compare_protection(unprotected: Model, protected: Model,
@@ -177,7 +244,8 @@ def compare_protection(unprotected: Model, protected: Model,
                        fault_model: Optional[FaultModel] = None,
                        criteria: Optional[Sequence[SDCCriterion]] = None,
                        dtype_policy: Optional[DTypePolicy] = None,
-                       trials: int = 100, seed: int = 0
+                       trials: int = 100, seed: int = 0,
+                       incremental: bool = True
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
@@ -193,4 +261,5 @@ def compare_protection(unprotected: Model, protected: Model,
                                      criteria=criteria,
                                      dtype_policy=dtype_policy, seed=seed)
     plans = base.generate_plans(trials)
-    return base.run(plans=plans), guarded.run(plans=plans)
+    return (base.run(plans=plans, incremental=incremental),
+            guarded.run(plans=plans, incremental=incremental))

@@ -19,11 +19,11 @@ instead (its state space is a negligible fraction of the total).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..graph import Executor, Graph, Node
+from ..graph import ExecutionResult, Executor, Graph, Node
 from ..models.base import Model
 from .fault_models import FaultModel, FaultSpec
 
@@ -33,18 +33,13 @@ class InjectionError(RuntimeError):
 
 
 def downstream_nodes(graph: Graph, start: str) -> Set[str]:
-    """All nodes reachable from ``start`` (including ``start`` itself)."""
-    reached = {start}
-    changed = True
-    while changed:
-        changed = False
-        for node in graph:
-            if node.name in reached:
-                continue
-            if any(inp in reached for inp in node.inputs):
-                reached.add(node.name)
-                changed = True
-    return reached
+    """All nodes reachable from ``start`` (including ``start`` itself).
+
+    Thin wrapper over :meth:`Graph.downstream`, kept for backwards
+    compatibility; the old O(N^2) fixpoint here is gone — the graph now
+    maintains forward adjacency and answers cone queries in O(V+E).
+    """
+    return graph.downstream(start)
 
 
 def last_layer_exclusions(model: Model) -> Set[str]:
@@ -167,19 +162,81 @@ class FaultInjector:
         that every value in the injectable state space is equally likely to be
         hit, which is the paper's random-fault assumption.
         """
+        return self.sample_plans(1)[0]
+
+    def sample_plans(self, count: int) -> List[InjectionPlan]:
+        """Sample the fault sites for ``count`` trials in one vectorized draw.
+
+        All node choices and element indices for the whole campaign come from
+        a single ``rng.choice`` / ``rng.integers`` call each, instead of a
+        Python loop per site.
+        """
         if self._site_sizes is None:
             raise InjectionError("call profile_state_space() first")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
         names = list(self._site_sizes.keys())
         sizes = np.array([self._site_sizes[n] for n in names], dtype=np.float64)
         probs = sizes / sizes.sum()
-        sites: List[Tuple[str, int]] = []
-        for _ in range(self.fault_model.sites_per_event):
-            node_name = names[int(self.rng.choice(len(names), p=probs))]
-            element = int(self.rng.integers(self._site_sizes[node_name]))
-            sites.append((node_name, element))
-        return InjectionPlan(sites=sites)
+        per_event = self.fault_model.sites_per_event
+        total = count * per_event
+        node_idx = self.rng.choice(len(names), size=total, p=probs)
+        elements = self.rng.integers(sizes[node_idx].astype(np.int64))
+        sites = [(names[int(n)], int(e)) for n, e in zip(node_idx, elements)]
+        return [InjectionPlan(sites=sites[i * per_event:(i + 1) * per_event])
+                for i in range(count)]
 
     # -- injection -------------------------------------------------------------------
+
+    @staticmethod
+    def _group_sites(plan: InjectionPlan) -> Dict[str, List[int]]:
+        pending: Dict[str, List[int]] = {}
+        for node_name, element in plan.sites:
+            pending.setdefault(node_name, []).append(element)
+        return pending
+
+    def _corrupt_array(self, node_name: str, output: np.ndarray,
+                       elements: Sequence[int],
+                       applied: List[FaultSpec]) -> np.ndarray:
+        """Apply the fault model to ``elements`` of one node's output.
+
+        The single corruption routine shared by every injection entry point
+        (full runs and cached replays), so the semantics cannot drift.
+        Appends one :class:`FaultSpec` per landed corruption to ``applied``
+        and returns the corrupted copy.
+        """
+        corrupted = np.array(output, dtype=np.float64, copy=True)
+        flat = corrupted.reshape(-1)
+        for element in elements:
+            index = element % flat.size
+            original = float(flat[index])
+            new_value, bit = self.fault_model.corrupt(original, self.rng)
+            flat[index] = new_value
+            applied.append(FaultSpec(node_name=node_name,
+                                     element_index=index, bit=bit,
+                                     original=original,
+                                     corrupted=new_value))
+        return corrupted
+
+    def _corruption_hook(self, plan: InjectionPlan
+                         ) -> Tuple[Callable, List[FaultSpec]]:
+        """Build the executor output hook that applies ``plan``.
+
+        Returns the hook together with the (initially empty) list it appends
+        a :class:`FaultSpec` to for every corruption it lands.
+        """
+        pending = self._group_sites(plan)
+        applied: List[FaultSpec] = []
+
+        def hook(node: Node, output: np.ndarray) -> np.ndarray:
+            if node.name not in pending:
+                return output
+            return self._corrupt_array(node.name, output, pending[node.name],
+                                       applied)
+
+        return hook, applied
 
     def inject(self, executor: Executor, inputs: np.ndarray,
                plan: Optional[InjectionPlan] = None,
@@ -192,34 +249,7 @@ class FaultInjector:
         — that is exactly how the with/without-Ranger comparison keeps the
         fault sequence identical.
         """
-        plan = plan or self.sample_plan()
-        pending: Dict[str, List[int]] = {}
-        for node_name, element in plan.sites:
-            pending.setdefault(node_name, []).append(element)
-        applied: List[FaultSpec] = []
-
-        def hook(node: Node, output: np.ndarray) -> np.ndarray:
-            if node.name not in pending:
-                return output
-            corrupted = np.array(output, dtype=np.float64, copy=True)
-            flat = corrupted.reshape(-1)
-            for element in pending[node.name]:
-                index = element % flat.size
-                original = float(flat[index])
-                new_value, bit = self.fault_model.corrupt(original, self.rng)
-                flat[index] = new_value
-                applied.append(FaultSpec(node_name=node.name,
-                                         element_index=index, bit=bit,
-                                         original=original,
-                                         corrupted=new_value))
-            return corrupted
-
-        executor.add_output_hook(hook)
-        try:
-            result = executor.run({self.model.input_name: inputs},
-                                  outputs=[self.model.output_name])
-        finally:
-            executor.remove_output_hook(hook)
+        result, applied = self.inject_full(executor, inputs, plan)
         return result.output(self.model.output_name), applied
 
     def inject_full(self, executor: Executor, inputs: np.ndarray,
@@ -231,27 +261,7 @@ class FaultInjector:
         returns ``(ExecutionResult, applied_faults)`` so they can.
         """
         plan = plan or self.sample_plan()
-        pending: Dict[str, List[int]] = {}
-        for node_name, element in plan.sites:
-            pending.setdefault(node_name, []).append(element)
-        applied: List[FaultSpec] = []
-
-        def hook(node: Node, output: np.ndarray) -> np.ndarray:
-            if node.name not in pending:
-                return output
-            corrupted = np.array(output, dtype=np.float64, copy=True)
-            flat = corrupted.reshape(-1)
-            for element in pending[node.name]:
-                index = element % flat.size
-                original = float(flat[index])
-                new_value, bit = self.fault_model.corrupt(original, self.rng)
-                flat[index] = new_value
-                applied.append(FaultSpec(node_name=node.name,
-                                         element_index=index, bit=bit,
-                                         original=original,
-                                         corrupted=new_value))
-            return corrupted
-
+        hook, applied = self._corruption_hook(plan)
         executor.add_output_hook(hook)
         try:
             result = executor.run({self.model.input_name: inputs},
@@ -259,3 +269,67 @@ class FaultInjector:
         finally:
             executor.remove_output_hook(hook)
         return result, applied
+
+    def inject_cached(self, executor: Executor,
+                      cached_values: Mapping[str, np.ndarray],
+                      plan: Optional[InjectionPlan] = None,
+                      ) -> Tuple[np.ndarray, List[FaultSpec], ExecutionResult]:
+        """Replay one faulty inference by partial re-execution.
+
+        ``cached_values`` is the activation cache of a fault-free run of the
+        same input on the same executor (``result.values``).  Only the
+        downstream cone of the fault sites is re-evaluated — the upstream
+        prefix is bit-identical to the golden run by construction, so the
+        returned output is bit-identical to what :meth:`inject` would
+        produce for the same plan and RNG state, at a fraction of the cost.
+
+        Returns ``(output, applied_faults, execution_result)``; the result's
+        ``recomputed`` field says how much of the graph was re-evaluated.
+        """
+        plan = plan or self.sample_plan()
+        pending = self._group_sites(plan)
+        topo_index = executor.graph.topo_index()
+        missing = [name for name in pending if name not in topo_index]
+        if missing:
+            raise InjectionError(
+                f"plan sites not present in executor graph: {missing}")
+        names = sorted(pending, key=topo_index.__getitem__)
+
+        # When one fault site lies in another site's downstream cone, the
+        # later site must be corrupted on top of the *faulty* value it
+        # produces during the replay (exactly as in a full run), not on top
+        # of its golden cached value.  Replay such plans hook-based: every
+        # site is a re-evaluation seed and the corruption hook fires in
+        # topological order, just like the full path.
+        overlapping = len(names) > 1 and any(
+            other in executor.graph.downstream(name)
+            for name in names for other in names if other != name)
+        if overlapping:
+            hook, applied = self._corruption_hook(plan)
+            executor.add_output_hook(hook)
+            try:
+                result = executor.run_from(cached_values, dirty=names,
+                                           outputs=[self.model.output_name])
+            finally:
+                executor.remove_output_hook(hook)
+            return result.output(self.model.output_name), applied, result
+
+        # Independent sites: corrupt the *cached* outputs directly — they are
+        # the post-dtype-policy values the corruption hook would receive
+        # during a full run, so the fault nodes' forward passes need not be
+        # paid for again.  Corruption happens in topological order so the
+        # fault model's RNG is consumed exactly as in a full faulty run.
+        applied: List[FaultSpec] = []
+        dirty_values: Dict[str, np.ndarray] = {}
+        for name in names:
+            try:
+                cached = cached_values[name]
+            except KeyError:
+                raise InjectionError(
+                    f"no cached activation for fault site '{name}'; pass the "
+                    f"values of a fault-free run of the same input") from None
+            dirty_values[name] = self._corrupt_array(name, cached,
+                                                     pending[name], applied)
+        result = executor.run_from(cached_values, dirty_values=dirty_values,
+                                   outputs=[self.model.output_name])
+        return result.output(self.model.output_name), applied, result

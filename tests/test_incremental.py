@@ -1,0 +1,119 @@
+"""Equivalence suite for the incremental execution engine.
+
+Partial re-execution (``Executor.run_from`` via ``FaultInjector.inject_cached``
+and the campaign's incremental mode) must be **bit-identical** to full
+re-execution: same faulty output bits, same applied-fault records, same SDC
+classifications.  This suite checks that guarantee for every model in the
+zoo, for fault sites at the first, middle and last injectable nodes, with
+and without the fixed-point dtype policy and with and without Ranger
+protection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Ranger
+from repro.injection import (
+    FaultInjectionCampaign,
+    FaultInjector,
+    SingleBitFlip,
+)
+from repro.models import ALL_MODELS, prepare_model
+from repro.quantization import FIXED16, fixed16_policy
+
+#: Models are built untrained (deterministically initialized): training does
+#: not change the execution semantics being verified, and skipping it keeps
+#: the whole-zoo sweep fast.
+ZOO = list(ALL_MODELS)
+
+
+@pytest.fixture(scope="module", params=ZOO)
+def zoo_prepared(request):
+    return prepare_model(request.param, train=False, seed=1)
+
+
+def _site_plans(injector, sample):
+    """Plans hitting the first, middle and last injectable nodes."""
+    sizes = injector.profile_state_space(sample)
+    names = list(sizes)  # profile observes in topological order
+    picks = {names[0], names[len(names) // 2], names[-1]}
+    plans = []
+    for name in sorted(picks, key=names.index):
+        for element in (0, sizes[name] - 1):
+            plans.append([(name, element)])
+    return plans
+
+
+def _assert_replay_matches(model, base_model, dtype_policy, x):
+    """inject() and inject_cached() must agree bit-for-bit on every site."""
+    from repro.injection.injector import InjectionPlan
+
+    probe = FaultInjector(base_model, SingleBitFlip(FIXED16), seed=3)
+    plans = _site_plans(probe, x)
+
+    executor = model.executor(dtype_policy)
+    cache = executor.run({model.input_name: x},
+                         outputs=[model.output_name]).values
+    for sites in plans:
+        full_injector = FaultInjector(base_model, SingleBitFlip(FIXED16),
+                                      seed=7)
+        cached_injector = FaultInjector(base_model, SingleBitFlip(FIXED16),
+                                        seed=7)
+        plan = InjectionPlan(sites=list(sites))
+        full_out, full_faults = full_injector.inject(executor, x, plan)
+        cached_out, cached_faults, result = cached_injector.inject_cached(
+            executor, cache, plan)
+        assert full_faults == cached_faults, sites
+        assert full_out.shape == cached_out.shape
+        assert full_out.tobytes() == cached_out.tobytes(), (
+            f"partial re-execution diverged at sites {sites}")
+        # The replay must never touch more than the fault's downstream cone.
+        cone = model.graph.downstream(plan.node_names())
+        assert result.recomputed is not None
+        assert result.recomputed <= cone
+
+
+@pytest.mark.parametrize("use_fixed_point", [False, True],
+                         ids=["float64", "fixed16"])
+@pytest.mark.parametrize("use_ranger", [False, True],
+                         ids=["unprotected", "ranger"])
+def test_partial_equals_full_across_zoo(zoo_prepared, use_fixed_point,
+                                        use_ranger):
+    prepared = zoo_prepared
+    x = prepared.dataset.x_val[:1]
+    dtype_policy = fixed16_policy() if use_fixed_point else None
+    model = prepared.model
+    if use_ranger:
+        sample, _ = prepared.dataset.sample_train(4, seed=0)
+        model, _ = Ranger(seed=0).protect(prepared.model,
+                                          profile_inputs=sample)
+    # Plans are sampled on the unprotected model (the paired-campaign
+    # convention); node names are preserved by the Ranger transform.
+    _assert_replay_matches(model, prepared.model, dtype_policy, x)
+
+
+def test_incremental_campaign_equals_full_campaign(lenet_prepared):
+    """Whole-campaign equivalence: same counts and same fault records."""
+    inputs, _ = lenet_prepared.correctly_predicted_inputs(4, seed=0)
+    full = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+    inc = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+    plans = full.generate_plans(40)
+    inc.generate_plans(40)  # consume the same injector RNG draws
+    full_result = full.run(plans=plans, keep_faults=True, incremental=False)
+    inc_result = inc.run(plans=plans, keep_faults=True, incremental=True)
+    assert full_result.sdc_counts == inc_result.sdc_counts
+    assert full_result.faults == inc_result.faults
+    assert inc_result.nodes_full > 0
+    assert inc_result.recompute_fraction < 1.0
+
+
+def test_incremental_campaign_builds_each_cache_once(lenet_prepared):
+    inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+    campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+    campaign.run(trials=20, incremental=True)
+    assert 0 < len(campaign._golden_caches) <= len(inputs)
+    # A second run reuses the caches instead of rebuilding them.
+    caches_before = {k: id(v) for k, v in campaign._golden_caches.items()}
+    campaign.run(trials=10, incremental=True)
+    for key, ident in caches_before.items():
+        assert id(campaign._golden_caches[key]) == ident

@@ -184,6 +184,100 @@ class TestInjector:
         assert run(5) == run(5)
         assert run(5) != run(6)
 
+    def test_sample_plans_vectorized(self, lenet_prepared):
+        model = lenet_prepared.model
+        injector = FaultInjector(model, MultiBitFlip(3, FIXED32), seed=0)
+        sizes = injector.profile_state_space(lenet_prepared.dataset.x_val[:1])
+        plans = injector.sample_plans(50)
+        assert len(plans) == 50
+        for plan in plans:
+            assert len(plan.sites) == 3
+            for node, element in plan.sites:
+                assert node in sizes
+                assert 0 <= element < sizes[node]
+        assert injector.sample_plans(0) == []
+        with pytest.raises(ValueError):
+            injector.sample_plans(-1)
+
+    def test_inject_cached_matches_inject(self, lenet_prepared):
+        model = lenet_prepared.model
+        x = lenet_prepared.dataset.x_val[:1]
+        full_injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=9)
+        cached_injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=9)
+        full_injector.profile_state_space(x)
+        cached_injector.profile_state_space(x)
+        plan = full_injector.sample_plan()
+        cached_injector.sample_plan()  # consume the same RNG draws
+        executor = model.executor()
+        cache = executor.run({model.input_name: x},
+                             outputs=[model.output_name]).values
+        full_out, full_faults = full_injector.inject(executor, x, plan)
+        out, faults, result = cached_injector.inject_cached(executor, cache,
+                                                            plan)
+        assert faults == full_faults
+        assert out.tobytes() == full_out.tobytes()
+        assert result.recomputed is not None
+        assert len(result.recomputed) < len(model.graph)
+
+    def test_inject_cached_matches_inject_on_overlapping_sites(
+            self, lenet_prepared):
+        """A site downstream of another must be corrupted on the faulty value.
+
+        When one fault site lies in another's downstream cone, the full run
+        corrupts the later site's *already-faulty* output; the cached replay
+        must reproduce that bit-for-bit (it falls back to hook-based
+        re-execution for such plans).
+        """
+        from repro.injection.injector import InjectionPlan
+
+        model = lenet_prepared.model
+        x = lenet_prepared.dataset.x_val[:1]
+        probe = FaultInjector(model, MultiBitFlip(2, FIXED32), seed=0)
+        sizes = probe.profile_state_space(x)
+        names = list(sizes)
+        first = names[0]
+        downstream = next(n for n in names[1:]
+                          if n in model.graph.downstream(first))
+        plan = InjectionPlan(sites=[(first, 1), (downstream, 1)])
+
+        executor = model.executor()
+        cache = executor.run({model.input_name: x},
+                             outputs=[model.output_name]).values
+        full_injector = FaultInjector(model, MultiBitFlip(2, FIXED32), seed=4)
+        cached_injector = FaultInjector(model, MultiBitFlip(2, FIXED32),
+                                        seed=4)
+        full_out, full_faults = full_injector.inject(executor, x, plan)
+        out, faults, _ = cached_injector.inject_cached(executor, cache, plan)
+        assert faults == full_faults
+        # The downstream site's original value must be the faulty one, which
+        # differs from the golden cache whenever the first fault reaches it.
+        assert out.tobytes() == full_out.tobytes()
+
+    def test_multibit_campaign_incremental_equals_full(self, lenet_prepared):
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+        full = FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                      fault_model=MultiBitFlip(3, FIXED32),
+                                      seed=0)
+        inc = FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                     fault_model=MultiBitFlip(3, FIXED32),
+                                     seed=0)
+        plans = full.generate_plans(40)
+        inc.generate_plans(40)
+        full_result = full.run(plans=plans, keep_faults=True,
+                               incremental=False)
+        inc_result = inc.run(plans=plans, keep_faults=True, incremental=True)
+        assert full_result.sdc_counts == inc_result.sdc_counts
+        assert full_result.faults == inc_result.faults
+
+    def test_inject_cached_requires_cached_site(self, lenet_prepared):
+        model = lenet_prepared.model
+        x = lenet_prepared.dataset.x_val[:1]
+        injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=1)
+        injector.profile_state_space(x)
+        plan = injector.sample_plan()
+        with pytest.raises(InjectionError, match="no cached activation"):
+            injector.inject_cached(model.executor(), {}, plan)
+
 
 class TestCampaign:
     def test_campaign_counts_and_rates(self, lenet_prepared):
