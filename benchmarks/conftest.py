@@ -13,9 +13,26 @@ reuse it.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import ExperimentScale
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__)) + os.sep
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow`` so CI can deselect the suite.
+
+    The hook sees the whole session's items, so it filters down to this
+    directory's.  The default local invocation (``pytest -x -q`` from the
+    repo root) still runs everything; continuous integration passes
+    ``-m "not slow"`` to keep the push/PR loop at tier-1 test latency.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
 
 #: The committed benchmark scale.  Raise `trials` toward 3000 and
 #: `num_inputs` to 10 to approach the paper's campaign sizes.

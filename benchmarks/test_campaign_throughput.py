@@ -1,9 +1,10 @@
-"""Benchmark: fault-injection campaign throughput, incremental vs. full.
+"""Benchmark: fault-injection campaign throughput, incremental and parallel.
 
 Measures trials/sec of the incremental execution engine (golden activation
 cache + partial re-execution of the fault cone) against the legacy
 full-re-execution flag, for paired (unprotected + Ranger) campaigns on the
-deep models, under the paper's 32-bit and 16-bit fixed-point configurations.
+deep models, under the paper's 32-bit and 16-bit fixed-point configurations —
+plus the multiprocess fan-out's scaling over worker counts.
 
 The regression guards pin the speedups that the engine's design delivers:
 feed-forward deep models mask faults aggressively (ReLU / pooling / Ranger
@@ -11,9 +12,23 @@ clipping / fixed-point quantization squash the corrupted value, ending the
 replay early), so SqueezeNet's paired campaigns run several times faster
 incrementally; ResNet's skip connections propagate every surviving fault to
 the output, which bounds its gain near the cone-size ratio (~2x).
+
+The fan-out guards are CPU-gated: parallel speedup is a property of the host
+(a 4-worker campaign cannot beat serial on a single-core container), so the
+>=2x scaling bar is enforced only where >=4 CPUs are actually available;
+smaller machines instead enforce that fan-out overhead stays bounded.  The
+scaling experiment itself asserts bit-identical per-criterion counts across
+all worker counts on every run, so the determinism guarantee is re-checked
+wherever the benchmark executes.
 """
 
-from repro.experiments import ExperimentScale, run_campaign_throughput
+import os
+
+from repro.experiments import (
+    ExperimentScale,
+    run_campaign_throughput,
+    run_parallel_scaling,
+)
 
 from bench_utils import guard_minimum, run_and_report
 
@@ -56,3 +71,42 @@ def test_campaign_throughput(benchmark):
     resnet = result.data["resnet18"]
     guard_minimum(result, "resnet18/fixed32 paired speedup",
                   resnet["fixed32"]["paired_speedup"], 1.5)
+
+
+#: Dedicated scale for the fan-out scaling sweep: one deep model, enough
+#: trials that per-worker fixed costs (model unpickle + golden-cache build)
+#: amortize away.
+PARALLEL_SCALE = ExperimentScale(
+    trials=320,
+    num_inputs=4,
+    classifier_models=(),
+    large_classifier_models=("squeezenet",),
+    steering_models=(),
+    include_large_models=True,
+    profile_samples=80,
+    seed=0,
+)
+
+
+def test_parallel_scaling(benchmark):
+    result = run_and_report(benchmark, run_parallel_scaling, PARALLEL_SCALE)
+    cpus = result.data["cpus"]
+    entry = result.data["squeezenet"]
+    scaling = entry[4]["trials_per_sec"] / entry[1]["trials_per_sec"]
+    if cpus >= 4:
+        guard_minimum(result, "squeezenet workers=4 vs workers=1 scaling",
+                      scaling, 2.0)
+    elif cpus >= 2:
+        # Two or three cores cannot reach the 4-way bar, and 4 workers
+        # oversubscribing them while each rebuilds its golden caches can
+        # eat most of the win; require the fan-out to roughly break even.
+        guard_minimum(result,
+                      f"squeezenet workers=4 vs workers=1 scaling "
+                      f"({cpus} cpus)", scaling, 0.8)
+    else:
+        # Single-core host: parallel speedup is physically impossible, so
+        # bound the fan-out overhead instead (4 workers must stay within
+        # 4x of serial even while each rebuilds its own golden caches).
+        guard_minimum(result,
+                      "squeezenet workers=4 vs workers=1 overhead bound "
+                      "(single cpu)", scaling, 0.25)

@@ -5,6 +5,7 @@ from .metrics import (
     AccuracyReport,
     average_deviation,
     evaluate_accuracy,
+    merge_count_dicts,
     rmse,
     top_k_accuracy,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "count_flops",
     "evaluate_accuracy",
     "format_cell",
+    "merge_count_dicts",
     "protection_overhead",
     "reduction_factor",
     "relative_reduction_percent",

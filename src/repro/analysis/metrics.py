@@ -3,17 +3,41 @@
 * Classifiers: top-1 / top-5 accuracy.
 * Steering models: RMSE and average absolute deviation per frame, in degrees
   (the metrics the paper reports for Dave and Comma.ai).
+* Mergeable counters: the aggregation primitive behind sharded
+  fault-injection campaigns (``CampaignResult.merge``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..datasets.driving import degrees_from_output
 from ..models.base import Model
+
+
+def merge_count_dicts(counts: Sequence[Mapping[str, int]]) -> Dict[str, int]:
+    """Sum per-key counters that share one key set.
+
+    The merge primitive for sharded campaign statistics: every statistic a
+    campaign reports (SDC rate, confidence interval, recompute fraction) is
+    a ratio of additive counters, so summing the counters of disjoint trial
+    shards reproduces the unsharded statistics exactly, in any shard order.
+    Key order follows the first counter; a shard with a different key set is
+    a programming error (its trials classified different criteria) and
+    raises ``ValueError``.
+    """
+    if not counts:
+        raise ValueError("merge_count_dicts() requires at least one counter")
+    first = counts[0]
+    for other in counts[1:]:
+        if set(other.keys()) != set(first.keys()):
+            raise ValueError(
+                f"cannot merge counters with different key sets: "
+                f"{sorted(first.keys())} vs. {sorted(other.keys())}")
+    return {key: int(sum(c[key] for c in counts)) for key in first.keys()}
 
 
 def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray,

@@ -27,7 +27,7 @@ from .sdc_experiments import (
     run_fig11_multibit_classifiers,
     run_fig12_multibit_steering,
 )
-from .throughput_experiments import run_campaign_throughput
+from .throughput_experiments import run_campaign_throughput, run_parallel_scaling
 from .tradeoff_experiments import (
     run_fig10_bound_tradeoff,
     run_sec6c_design_alternatives,
@@ -53,6 +53,7 @@ __all__ = [
     "run_fig11_multibit_classifiers",
     "run_fig12_multibit_steering",
     "run_memory_overhead",
+    "run_parallel_scaling",
     "run_sec6c_design_alternatives",
     "run_table2_accuracy",
     "run_table3_insertion_time",

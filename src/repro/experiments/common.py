@@ -57,6 +57,10 @@ class ExperimentScale:
     include_large_models: bool = True
     profile_samples: int = 120
     seed: int = 0
+    #: Worker processes for fault-injection campaigns (``run(workers=N)``).
+    #: Campaign results are bit-identical for every value, so this is purely
+    #: a wall-clock knob; 1 keeps everything in-process.
+    workers: int = 1
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
@@ -127,7 +131,7 @@ def paired_sdc_rates(prepared: PreparedModel, protected, scale: ExperimentScale,
         fault_model=fault_model or SingleBitFlip(FIXED32),
         criteria=criteria,
         dtype_policy=dtype_policy if dtype_policy is not None else fixed32_policy(),
-        trials=scale.trials, seed=scale.seed)
+        trials=scale.trials, seed=scale.seed, workers=scale.workers)
     original = {c: base.sdc_rate_percent(c) for c in base.criteria}
     with_ranger = {c: guarded.sdc_rate_percent(c) for c in guarded.criteria}
     return original, with_ranger

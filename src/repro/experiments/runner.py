@@ -29,7 +29,7 @@ from .sdc_experiments import (
     run_fig11_multibit_classifiers,
     run_fig12_multibit_steering,
 )
-from .throughput_experiments import run_campaign_throughput
+from .throughput_experiments import run_campaign_throughput, run_parallel_scaling
 from .tradeoff_experiments import (
     run_fig10_bound_tradeoff,
     run_sec6c_design_alternatives,
@@ -52,6 +52,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = 
     "memory_overhead": run_memory_overhead,
     "sec6c_design_alternatives": run_sec6c_design_alternatives,
     "campaign_throughput": run_campaign_throughput,
+    "parallel_scaling": run_parallel_scaling,
 }
 
 

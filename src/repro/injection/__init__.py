@@ -1,6 +1,13 @@
 """Fault injection: fault models, the injector, SDC criteria, and campaigns."""
 
-from .campaign import CampaignResult, FaultInjectionCampaign, compare_protection
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    FaultInjectionCampaign,
+    compare_protection,
+    shard_plans,
+    trial_rng,
+)
 from .fault_models import (
     ConsecutiveBitFlip,
     FaultModel,
@@ -27,6 +34,7 @@ from .sdc import (
 
 __all__ = [
     "CampaignResult",
+    "CampaignSpec",
     "ConsecutiveBitFlip",
     "FaultInjectionCampaign",
     "FaultInjector",
@@ -46,4 +54,6 @@ __all__ = [
     "criteria_for_model",
     "downstream_nodes",
     "last_layer_exclusions",
+    "shard_plans",
+    "trial_rng",
 ]

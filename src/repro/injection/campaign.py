@@ -12,15 +12,36 @@ The same sequence of faults can be replayed against a protected model (Ranger
 or a baseline) so the with/without comparison is paired, which substantially
 reduces the variance of the measured SDC-rate *difference* at laptop-scale
 trial counts.
+
+Parallel execution
+------------------
+
+Trials are embarrassingly parallel once the ``(input, plan)`` pairs are
+pre-sampled, so ``run(workers=N)`` shards them across ``N`` worker processes.
+Each worker rebuilds its model, executor and golden activation caches from a
+picklable :class:`CampaignSpec` and runs its contiguous shard of trials; the
+parent merges the per-worker partial results with :meth:`CampaignResult.merge`.
+
+**Determinism guarantee.**  Every trial draws its corruption randomness from
+its own generator, derived from the campaign seed and the *global* trial
+index via ``numpy.random.SeedSequence`` spawning (see :func:`trial_rng`).  A
+trial's outcome therefore depends only on ``(seed, trial index)`` — never on
+which process executes it, how the trial list is chunked, or how many workers
+run — so ``run(workers=N)`` is bit-identical to the serial path for every
+``N``, and two same-seed campaigns (e.g. the unprotected and protected sides
+of :func:`compare_protection`) corrupt the same values with the same bits.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.metrics import merge_count_dicts
 from ..graph import DTypePolicy, Executor
 from ..models.base import Model
 from .fault_models import FaultModel, FaultSpec, SingleBitFlip
@@ -28,9 +49,45 @@ from .injector import FaultInjector, InjectionPlan
 from .sdc import SDCCriterion, criteria_for_model
 
 
+def trial_rng(seed: int, trial_index: int) -> np.random.Generator:
+    """The corruption RNG stream of one campaign trial.
+
+    Stream ``i`` is the ``i``-th child of ``SeedSequence(seed)`` —
+    constructed directly through its spawn key, which is identical to
+    ``SeedSequence(seed).spawn(n)[i]`` for any ``n > i`` but lets a worker
+    derive the streams of its shard without enumerating every earlier trial.
+    Deriving per-trial streams from the campaign seed (instead of consuming
+    one shared generator trial-after-trial) is what makes campaign results
+    independent of execution order, worker count and chunking.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(trial_index,)))
+
+
+def shard_plans(plans: Sequence[Tuple[int, InjectionPlan]], shards: int
+                ) -> List[Tuple[int, List[Tuple[int, InjectionPlan]]]]:
+    """Split a trial list into at most ``shards`` contiguous chunks.
+
+    Returns ``(trial_offset, chunk)`` pairs; the offset is the position of
+    the chunk's first trial in the original list, which each worker needs to
+    derive the correct per-trial RNG streams (see :func:`trial_rng`).  Chunks
+    are contiguous and near-even; empty chunks are dropped.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    boundaries = np.array_split(np.arange(len(plans)), shards)
+    out: List[Tuple[int, List[Tuple[int, InjectionPlan]]]] = []
+    for indices in boundaries:
+        if len(indices) == 0:
+            continue
+        start = int(indices[0])
+        out.append((start, list(plans[start:start + len(indices)])))
+    return out
+
+
 @dataclass
 class CampaignResult:
-    """Aggregated results of one fault-injection campaign."""
+    """Aggregated results of one fault-injection campaign (or one shard)."""
 
     model_name: str
     fault_model: str
@@ -77,13 +134,49 @@ class CampaignResult:
     def criteria(self) -> List[str]:
         return list(self.sdc_counts.keys())
 
+    @classmethod
+    def merge(cls, shards: Iterable["CampaignResult"]) -> "CampaignResult":
+        """Combine per-shard partial results into one campaign result.
+
+        All counters are additive, so the merge is order-insensitive for
+        every statistic: the merged ``sdc_rate``, ``confidence_interval``
+        and ``recompute_fraction`` equal those of an unsharded run over the
+        same trials.  Fault logs are concatenated in the given shard order
+        (the parallel backend passes shards in trial order, so the merged
+        log matches a serial ``keep_faults`` run).  Shards must describe the
+        same campaign: same model, same fault model, same criterion set.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("merge() requires at least one shard result")
+        first = shards[0]
+        for other in shards[1:]:
+            if (other.model_name != first.model_name
+                    or other.fault_model != first.fault_model):
+                raise ValueError(
+                    f"cannot merge results of different campaigns: "
+                    f"{first.model_name} [{first.fault_model}] vs. "
+                    f"{other.model_name} [{other.fault_model}]")
+        return cls(
+            model_name=first.model_name,
+            fault_model=first.fault_model,
+            trials=sum(s.trials for s in shards),
+            sdc_counts=merge_count_dicts([s.sdc_counts for s in shards]),
+            detected_count=sum(s.detected_count for s in shards),
+            faults=[faults for s in shards for faults in s.faults],
+            nodes_recomputed=sum(s.nodes_recomputed for s in shards),
+            nodes_full=sum(s.nodes_full for s in shards),
+        )
+
     def summary(self) -> str:
         lines = [f"{self.model_name} [{self.fault_model}] — {self.trials} trials"]
         for criterion in self.criteria:
+            count = self.sdc_counts[criterion]
             lines.append(
                 f"  {criterion:20s} SDC rate = "
                 f"{self.sdc_rate_percent(criterion):6.2f}% "
-                f"(± {self.error_bar_percent(criterion):.2f}%)")
+                f"(± {self.error_bar_percent(criterion):.2f}%) "
+                f"[{count}/{self.trials} trials]")
         return "\n".join(lines)
 
 
@@ -176,7 +269,10 @@ class FaultInjectionCampaign:
 
         Sharing the returned list between the unprotected and protected
         campaigns makes the comparison paired.  Input indices and fault
-        sites are each drawn in a single vectorized call.
+        sites are each drawn in a single vectorized call.  The sampled list
+        is a pure function of the campaign seed: parallel runs ship these
+        pre-sampled pairs to the workers, so chunking and worker count
+        cannot perturb them.
         """
         rng = np.random.default_rng(self.seed + 1)
         input_indices = rng.integers(len(self.inputs), size=trials)
@@ -186,10 +282,19 @@ class FaultInjectionCampaign:
 
     # -- execution -----------------------------------------------------------------
 
+    def spec(self) -> "CampaignSpec":
+        """The picklable description a worker process rebuilds this campaign from."""
+        return CampaignSpec(model=self.model, inputs=self.inputs,
+                            fault_model=self.fault_model,
+                            criteria=list(self.criteria),
+                            dtype_policy=self.dtype_policy, seed=self.seed)
+
     def run(self, trials: int = 100,
             plans: Optional[List[Tuple[int, InjectionPlan]]] = None,
             keep_faults: bool = False,
-            incremental: bool = True) -> CampaignResult:
+            incremental: bool = True,
+            workers: int = 1,
+            trial_offset: int = 0) -> CampaignResult:
         """Run the campaign and return aggregated SDC statistics.
 
         Parameters
@@ -200,11 +305,29 @@ class FaultInjectionCampaign:
             of the fault's downstream cone (bit-identical to a full faulty
             run).  When False, every trial re-executes the whole graph —
             the legacy path, kept for equivalence testing and benchmarking.
+        workers:
+            Number of worker processes.  ``1`` (default) runs in-process;
+            ``N > 1`` pre-samples the plans, shards them into contiguous
+            chunks, and fans the chunks out to ``N`` processes that each
+            rebuild the campaign from its :meth:`spec` and run their shard.
+            Results are bit-identical for every worker count (see the
+            module docstring's determinism guarantee).
+        trial_offset:
+            Global index of the first trial in ``plans``; used by the
+            parallel backend so each shard derives the same per-trial RNG
+            streams the serial path would.
         """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
         if plans is None:
             plans = self.generate_plans(trials)
+        if workers > 1 and len(plans) > 1:
+            return self._run_parallel(plans, workers=workers,
+                                      keep_faults=keep_faults,
+                                      incremental=incremental,
+                                      trial_offset=trial_offset)
         sdc_counts = {criterion.name: 0 for criterion in self.criteria}
         fault_log: List[List[FaultSpec]] = []
         # Per-trial cost of the full path: the ancestor-pruned subgraph it
@@ -213,18 +336,19 @@ class FaultInjectionCampaign:
         nodes_recomputed = 0
         nodes_full = 0
 
-        for input_index, plan in plans:
+        for position, (input_index, plan) in enumerate(plans):
+            rng = trial_rng(self.seed, trial_offset + position)
             golden = self._golden[input_index]
             if incremental:
                 cache = self._golden_cache(input_index)
                 faulty, faults, result = self.injector.inject_cached(
-                    self._executor, cache, plan)
+                    self._executor, cache, plan, rng=rng)
                 nodes_recomputed += len(result.recomputed or ())
                 nodes_full += full_cost
             else:
                 batch = self.inputs[input_index:input_index + 1]
                 faulty, faults = self.injector.inject(self._executor, batch,
-                                                      plan)
+                                                      plan, rng=rng)
             for criterion in self.criteria:
                 if criterion.is_sdc(golden, faulty):
                     sdc_counts[criterion.name] += 1
@@ -238,6 +362,83 @@ class FaultInjectionCampaign:
                               nodes_recomputed=nodes_recomputed,
                               nodes_full=nodes_full)
 
+    def _run_parallel(self, plans: List[Tuple[int, InjectionPlan]],
+                      workers: int, keep_faults: bool, incremental: bool,
+                      trial_offset: int) -> CampaignResult:
+        """Fan ``plans`` out across ``workers`` processes and merge the shards.
+
+        Plans travel as plain-tuple payloads (see
+        :meth:`InjectionPlan.to_payload`) next to a pickled
+        :class:`CampaignSpec`; each worker rebuilds the model, executor and
+        its own golden activation caches, so no process shares mutable
+        state.  Shard results come back in trial order and are merged with
+        :meth:`CampaignResult.merge`.
+        """
+        shards = shard_plans(plans, workers)
+        spec = self.spec()
+        payloads = [(offset, [(index, plan.to_payload())
+                              for index, plan in chunk])
+                    for offset, chunk in shards]
+        # fork (where available) keeps worker start-up cheap; the spec is
+        # still pickled and shipped through the pool's task queue, so the
+        # worker protocol is identical under spawn.
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - Windows / macOS spawn-only environments
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=len(payloads),
+                                 mp_context=context) as pool:
+            futures = [pool.submit(_run_campaign_shard, spec, chunk,
+                                   trial_offset + offset, keep_faults,
+                                   incremental)
+                       for offset, chunk in payloads]
+            partials = [future.result() for future in futures]
+        return CampaignResult.merge(partials)
+
+
+@dataclass
+class CampaignSpec:
+    """Everything a worker process needs to rebuild a campaign.
+
+    The spec is deliberately limited to picklable leaf state — the model
+    (graph + weights), the evaluation inputs, the fault model, the criterion
+    list, the dtype policy and the seed.  ``build()`` reruns the campaign
+    constructor, which re-profiles the injectable state space and recomputes
+    the golden outputs, so a rebuilt campaign is indistinguishable from the
+    original (both are pure functions of this state).
+    """
+
+    model: Model
+    inputs: np.ndarray
+    fault_model: FaultModel
+    criteria: List[SDCCriterion]
+    dtype_policy: Optional[DTypePolicy]
+    seed: int
+
+    def build(self) -> FaultInjectionCampaign:
+        return FaultInjectionCampaign(self.model, self.inputs,
+                                      fault_model=self.fault_model,
+                                      criteria=self.criteria,
+                                      dtype_policy=self.dtype_policy,
+                                      seed=self.seed)
+
+
+def _run_campaign_shard(spec: CampaignSpec,
+                        payload: Sequence[Tuple[int, Sequence[Tuple[str, int]]]],
+                        trial_offset: int, keep_faults: bool,
+                        incremental: bool) -> CampaignResult:
+    """Worker entry point: rebuild the campaign and run one shard of trials.
+
+    Module-level (not a closure) so it pickles under every multiprocessing
+    start method.  ``trial_offset`` anchors the shard's per-trial RNG
+    streams at the trials' global indices.
+    """
+    campaign = spec.build()
+    plans = [(input_index, InjectionPlan.from_payload(sites))
+             for input_index, sites in payload]
+    return campaign.run(plans=plans, keep_faults=keep_faults,
+                        incremental=incremental, trial_offset=trial_offset)
+
 
 def compare_protection(unprotected: Model, protected: Model,
                        inputs: np.ndarray,
@@ -245,14 +446,18 @@ def compare_protection(unprotected: Model, protected: Model,
                        criteria: Optional[Sequence[SDCCriterion]] = None,
                        dtype_policy: Optional[DTypePolicy] = None,
                        trials: int = 100, seed: int = 0,
-                       incremental: bool = True
+                       incremental: bool = True,
+                       workers: int = 1,
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
     The same fault plans (same input, same node, same element, same bit
     sequence) are replayed on both graphs — possible because protection
     transforms keep the original node names — so any difference in SDC rate
-    is attributable to the protection.
+    is attributable to the protection.  Both campaigns are built from the
+    same ``seed``, and each trial's corruption bits come from the per-trial
+    stream :func:`trial_rng` derives from that seed, so the comparison stays
+    bit-paired no matter how either campaign is sharded across ``workers``.
     """
     base = FaultInjectionCampaign(unprotected, inputs, fault_model=fault_model,
                                   criteria=criteria, dtype_policy=dtype_policy,
@@ -261,5 +466,5 @@ def compare_protection(unprotected: Model, protected: Model,
                                      criteria=criteria,
                                      dtype_policy=dtype_policy, seed=seed)
     plans = base.generate_plans(trials)
-    return (base.run(plans=plans, incremental=incremental),
-            guarded.run(plans=plans, incremental=incremental))
+    return (base.run(plans=plans, incremental=incremental, workers=workers),
+            guarded.run(plans=plans, incremental=incremental, workers=workers))

@@ -73,6 +73,22 @@ class InjectionPlan:
     def node_names(self) -> Set[str]:
         return {name for name, _ in self.sites}
 
+    # -- serialization (worker fan-out) -----------------------------------
+
+    def to_payload(self) -> List[Tuple[str, int]]:
+        """A plain-tuple form of the plan for cross-process transfer.
+
+        Multiprocess campaigns ship thousands of plans to worker processes;
+        sending bare ``(node, element)`` tuples keeps the pickled campaign
+        spec small and independent of this class's layout.
+        """
+        return [(str(name), int(element)) for name, element in self.sites]
+
+    @classmethod
+    def from_payload(cls, payload: Sequence[Tuple[str, int]]) -> "InjectionPlan":
+        """Rebuild a plan from :meth:`to_payload` output."""
+        return cls(sites=[(name, int(element)) for name, element in payload])
+
 
 class FaultInjector:
     """Samples injection sites and applies faults through executor hooks.
@@ -199,20 +215,25 @@ class FaultInjector:
 
     def _corrupt_array(self, node_name: str, output: np.ndarray,
                        elements: Sequence[int],
-                       applied: List[FaultSpec]) -> np.ndarray:
+                       applied: List[FaultSpec],
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Apply the fault model to ``elements`` of one node's output.
 
         The single corruption routine shared by every injection entry point
         (full runs and cached replays), so the semantics cannot drift.
         Appends one :class:`FaultSpec` per landed corruption to ``applied``
-        and returns the corrupted copy.
+        and returns the corrupted copy.  ``rng`` overrides the injector's
+        shared stream; campaigns pass a per-trial generator so a trial's
+        corruption bits depend only on the campaign seed and the trial
+        index, never on which process (or in which order) the trial runs.
         """
+        rng = rng if rng is not None else self.rng
         corrupted = np.array(output, dtype=np.float64, copy=True)
         flat = corrupted.reshape(-1)
         for element in elements:
             index = element % flat.size
             original = float(flat[index])
-            new_value, bit = self.fault_model.corrupt(original, self.rng)
+            new_value, bit = self.fault_model.corrupt(original, rng)
             flat[index] = new_value
             applied.append(FaultSpec(node_name=node_name,
                                      element_index=index, bit=bit,
@@ -220,7 +241,8 @@ class FaultInjector:
                                      corrupted=new_value))
         return corrupted
 
-    def _corruption_hook(self, plan: InjectionPlan
+    def _corruption_hook(self, plan: InjectionPlan,
+                         rng: Optional[np.random.Generator] = None,
                          ) -> Tuple[Callable, List[FaultSpec]]:
         """Build the executor output hook that applies ``plan``.
 
@@ -234,12 +256,13 @@ class FaultInjector:
             if node.name not in pending:
                 return output
             return self._corrupt_array(node.name, output, pending[node.name],
-                                       applied)
+                                       applied, rng=rng)
 
         return hook, applied
 
     def inject(self, executor: Executor, inputs: np.ndarray,
                plan: Optional[InjectionPlan] = None,
+               rng: Optional[np.random.Generator] = None,
                ) -> Tuple[np.ndarray, List[FaultSpec]]:
         """Run one faulty inference and return (output, applied faults).
 
@@ -249,11 +272,12 @@ class FaultInjector:
         — that is exactly how the with/without-Ranger comparison keeps the
         fault sequence identical.
         """
-        result, applied = self.inject_full(executor, inputs, plan)
+        result, applied = self.inject_full(executor, inputs, plan, rng=rng)
         return result.output(self.model.output_name), applied
 
     def inject_full(self, executor: Executor, inputs: np.ndarray,
-                    plan: Optional[InjectionPlan] = None):
+                    plan: Optional[InjectionPlan] = None,
+                    rng: Optional[np.random.Generator] = None):
         """Like :meth:`inject` but also returns every node's (faulty) output.
 
         Detection-style baselines (symptom detectors, ABFT checksums) need to
@@ -261,7 +285,7 @@ class FaultInjector:
         returns ``(ExecutionResult, applied_faults)`` so they can.
         """
         plan = plan or self.sample_plan()
-        hook, applied = self._corruption_hook(plan)
+        hook, applied = self._corruption_hook(plan, rng=rng)
         executor.add_output_hook(hook)
         try:
             result = executor.run({self.model.input_name: inputs},
@@ -273,6 +297,7 @@ class FaultInjector:
     def inject_cached(self, executor: Executor,
                       cached_values: Mapping[str, np.ndarray],
                       plan: Optional[InjectionPlan] = None,
+                      rng: Optional[np.random.Generator] = None,
                       ) -> Tuple[np.ndarray, List[FaultSpec], ExecutionResult]:
         """Replay one faulty inference by partial re-execution.
 
@@ -305,7 +330,7 @@ class FaultInjector:
             other in executor.graph.downstream(name)
             for name in names for other in names if other != name)
         if overlapping:
-            hook, applied = self._corruption_hook(plan)
+            hook, applied = self._corruption_hook(plan, rng=rng)
             executor.add_output_hook(hook)
             try:
                 result = executor.run_from(cached_values, dirty=names,
@@ -329,7 +354,8 @@ class FaultInjector:
                     f"no cached activation for fault site '{name}'; pass the "
                     f"values of a fault-free run of the same input") from None
             dirty_values[name] = self._corrupt_array(name, cached,
-                                                     pending[name], applied)
+                                                     pending[name], applied,
+                                                     rng=rng)
         result = executor.run_from(cached_values, dirty_values=dirty_values,
                                    outputs=[self.model.output_name])
         return result.output(self.model.output_name), applied, result

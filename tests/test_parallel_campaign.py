@@ -1,0 +1,308 @@
+"""Equivalence and determinism suite for the multiprocess campaign backend.
+
+``FaultInjectionCampaign.run(workers=N)`` must be **bit-identical** to the
+serial incremental path for every worker count: same per-criterion counts,
+same applied-fault records, same incremental-execution statistics.  The
+guarantee rests on three properties, each tested here:
+
+1. every trial draws its corruption randomness from a per-trial stream
+   derived from the campaign seed and the *global* trial index
+   (``trial_rng``), so outcomes cannot depend on execution order, chunking
+   or worker count;
+2. plans are pre-sampled once in the parent and shipped to the workers, so
+   the sampled ``(input, plan)`` pairs are a pure function of the seed;
+3. ``CampaignResult.merge`` aggregates purely additive counters, so merged
+   statistics equal those of an unsharded run in any shard order.
+"""
+
+import itertools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Ranger
+from repro.injection import (
+    CampaignResult,
+    FaultInjectionCampaign,
+    InjectionPlan,
+    MultiBitFlip,
+    SingleBitFlip,
+    StuckAtZeroFault,
+    compare_protection,
+    shard_plans,
+    trial_rng,
+)
+from repro.injection.campaign import _run_campaign_shard
+from repro.models import prepare_model
+from repro.quantization import FIXED16, FIXED32, fixed16_policy
+
+#: Models the parallel-vs-serial sweep covers: the smallest model of the zoo
+#: and the deep feed-forward model the throughput benchmarks target.  Models
+#: are built untrained (deterministically initialized) — training does not
+#: change the execution semantics under test and skipping it keeps the
+#: sweep fast.
+ZOO_SUBSET = ("lenet", "squeezenet")
+
+WORKER_COUNTS = (1, 2, 4)
+TRIALS = 12
+
+
+@pytest.fixture(scope="module", params=ZOO_SUBSET)
+def subset_prepared(request):
+    return prepare_model(request.param, train=False, seed=1)
+
+
+def _fault_records(result):
+    """The per-trial (site, bit) sequences — the model-independent fault identity."""
+    return [[(f.node_name, f.element_index, f.bit) for f in trial]
+            for trial in result.faults]
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("use_fixed_point", [False, True],
+                             ids=["float64", "fixed16"])
+    @pytest.mark.parametrize("use_ranger", [False, True],
+                             ids=["unprotected", "ranger"])
+    def test_workers_replay_bit_identically(self, subset_prepared,
+                                            use_fixed_point, use_ranger):
+        prepared = subset_prepared
+        model = prepared.model
+        if use_ranger:
+            sample, _ = prepared.dataset.sample_train(4, seed=0)
+            model, _ = Ranger(seed=0).protect(prepared.model,
+                                              profile_inputs=sample)
+        dtype_policy = fixed16_policy() if use_fixed_point else None
+        inputs = prepared.dataset.x_val[:2]
+
+        def build():
+            return FaultInjectionCampaign(model, inputs,
+                                          fault_model=SingleBitFlip(FIXED16),
+                                          dtype_policy=dtype_policy, seed=0)
+
+        serial = build()
+        plans = serial.generate_plans(TRIALS)
+        reference = serial.run(plans=plans, keep_faults=True,
+                               incremental=True)
+        for workers in WORKER_COUNTS:
+            result = build().run(plans=plans, keep_faults=True,
+                                 workers=workers)
+            assert result.trials == reference.trials == TRIALS
+            assert result.sdc_counts == reference.sdc_counts, workers
+            # FaultSpec equality is exact float equality: the same bits were
+            # flipped in the same values.
+            assert result.faults == reference.faults, workers
+            assert result.nodes_recomputed == reference.nodes_recomputed
+            assert result.nodes_full == reference.nodes_full
+
+    def test_multibit_overlapping_sites_parallelize(self, lenet_prepared):
+        """The hook-based replay of overlapping plans is fan-out safe too."""
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+
+        def build():
+            return FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                          fault_model=MultiBitFlip(3, FIXED32),
+                                          seed=0)
+
+        serial = build()
+        plans = serial.generate_plans(16)
+        reference = serial.run(plans=plans, keep_faults=True)
+        result = build().run(plans=plans, keep_faults=True, workers=3)
+        assert result.sdc_counts == reference.sdc_counts
+        assert result.faults == reference.faults
+
+    def test_worker_shard_rebuilds_from_pickled_spec(self, lenet_prepared):
+        """One shard run through the pickled worker protocol equals serial."""
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(2, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+        plans = campaign.generate_plans(8)
+        reference = campaign.run(plans=plans, keep_faults=True)
+        spec = pickle.loads(pickle.dumps(campaign.spec()))
+        payload = [(index, plan.to_payload()) for index, plan in plans]
+        shard = _run_campaign_shard(spec, payload, trial_offset=0,
+                                    keep_faults=True, incremental=True)
+        assert shard.sdc_counts == reference.sdc_counts
+        assert shard.faults == reference.faults
+
+    def test_plan_payload_roundtrip(self):
+        plan = InjectionPlan(sites=[("conv1/relu", 17), ("pool2", 3)])
+        assert InjectionPlan.from_payload(plan.to_payload()) == plan
+
+
+class TestMergeProperties:
+    @staticmethod
+    def _shard(counts, trials, detected=0, recomputed=0, full=0):
+        return CampaignResult(model_name="m", fault_model="f", trials=trials,
+                              sdc_counts=dict(counts),
+                              detected_count=detected,
+                              nodes_recomputed=recomputed, nodes_full=full)
+
+    def test_counts_additive_in_any_order(self):
+        shards = [self._shard({"top1": 3, "top5": 1}, 10, recomputed=5, full=20),
+                  self._shard({"top1": 1, "top5": 0}, 6, recomputed=2, full=12),
+                  self._shard({"top1": 0, "top5": 2}, 4, recomputed=1, full=8)]
+        expected = CampaignResult.merge(shards)
+        assert expected.trials == 20
+        assert expected.sdc_counts == {"top1": 4, "top5": 3}
+        assert expected.nodes_recomputed == 8
+        assert expected.nodes_full == 40
+        for permutation in itertools.permutations(shards):
+            merged = CampaignResult.merge(permutation)
+            assert merged.sdc_counts == expected.sdc_counts
+            assert merged.trials == expected.trials
+            assert merged.recompute_fraction == expected.recompute_fraction
+            for criterion in ("top1", "top5"):
+                assert merged.sdc_rate(criterion) == expected.sdc_rate(criterion)
+                assert (merged.confidence_interval(criterion)
+                        == expected.confidence_interval(criterion))
+
+    def test_empty_shard_is_identity(self):
+        shard = self._shard({"top1": 2}, 9, recomputed=3, full=18)
+        empty = self._shard({"top1": 0}, 0)
+        merged = CampaignResult.merge([empty, shard, empty])
+        assert merged.trials == shard.trials
+        assert merged.sdc_counts == shard.sdc_counts
+        assert merged.sdc_rate("top1") == shard.sdc_rate("top1")
+        assert merged.confidence_interval("top1") == shard.confidence_interval("top1")
+        assert merged.recompute_fraction == shard.recompute_fraction
+
+    def test_single_shard_merge_preserves_statistics(self):
+        shard = self._shard({"top1": 4}, 11, detected=2, recomputed=7, full=33)
+        merged = CampaignResult.merge([shard])
+        assert merged == shard
+
+    def test_merge_rejects_empty_and_mismatched(self):
+        with pytest.raises(ValueError):
+            CampaignResult.merge([])
+        a = self._shard({"top1": 1}, 5)
+        b = CampaignResult(model_name="other", fault_model="f", trials=5,
+                           sdc_counts={"top1": 0})
+        with pytest.raises(ValueError):
+            CampaignResult.merge([a, b])
+        c = self._shard({"top5": 1}, 5)  # different criterion set
+        with pytest.raises(ValueError):
+            CampaignResult.merge([a, c])
+
+    def test_merged_run_equals_unsharded_run(self, lenet_prepared):
+        """Shard a real campaign by hand; the merge reproduces the whole."""
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+        plans = campaign.generate_plans(30)
+        whole = campaign.run(plans=plans, keep_faults=True)
+        for shards in (2, 3, 5):
+            partials = [campaign.run(plans=chunk, keep_faults=True,
+                                     trial_offset=offset)
+                        for offset, chunk in shard_plans(plans, shards)]
+            merged = CampaignResult.merge(partials)
+            assert merged.trials == whole.trials
+            assert merged.sdc_counts == whole.sdc_counts
+            assert merged.faults == whole.faults
+            assert merged.sdc_rate("top1") == whole.sdc_rate("top1")
+            assert (merged.confidence_interval("top1")
+                    == whole.confidence_interval("top1"))
+            assert merged.recompute_fraction == whole.recompute_fraction
+
+
+class TestSeedPartitioning:
+    def test_same_seed_samples_same_plans(self, lenet_prepared):
+        """Plan sampling is a pure function of the campaign seed."""
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+
+        def sample():
+            campaign = FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                              seed=5)
+            return campaign.generate_plans(25)
+
+        first, second = sample(), sample()
+        assert [(i, p.to_payload()) for i, p in first] \
+            == [(i, p.to_payload()) for i, p in second]
+
+    def test_sharding_never_perturbs_the_plan_list(self, lenet_prepared):
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(2, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=1)
+        plans = campaign.generate_plans(17)
+        for shards in (1, 2, 4, 17, 30):
+            chunks = shard_plans(plans, shards)
+            reassembled = [pair for _, chunk in chunks for pair in chunk]
+            assert reassembled == plans
+            # Offsets are the chunk positions in the original trial order.
+            position = 0
+            for offset, chunk in chunks:
+                assert offset == position
+                position += len(chunk)
+
+    def test_trial_rng_streams_are_spawn_children(self):
+        """trial_rng(seed, i) is the i-th SeedSequence.spawn child of the seed."""
+        children = np.random.SeedSequence(7).spawn(6)
+        for index, child in enumerate(children):
+            expected = np.random.default_rng(child).integers(0, 2 ** 63, 8)
+            derived = trial_rng(7, index).integers(0, 2 ** 63, 8)
+            assert (expected == derived).all()
+
+    def test_trial_streams_never_repeat_across_trials(self):
+        """Guards against accidental RNG-stream reuse between trials/workers."""
+        draws = {tuple(trial_rng(0, index).integers(0, 2 ** 63, 4))
+                 for index in range(64)}
+        assert len(draws) == 64
+
+    def test_chunk_size_cannot_change_results(self, lenet_prepared):
+        """Same seed, any chunking: bit-identical counts and fault records."""
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(3, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=0)
+        plans = campaign.generate_plans(20)
+        whole = campaign.run(plans=plans, keep_faults=True)
+        for workers in (2, 3, 5):
+            partials = [campaign.run(plans=chunk, keep_faults=True,
+                                     trial_offset=offset)
+                        for offset, chunk in shard_plans(plans, workers)]
+            merged = CampaignResult.merge(partials)
+            assert merged.sdc_counts == whole.sdc_counts
+            assert merged.faults == whole.faults
+
+
+class TestPairedComparison:
+    def test_paired_campaigns_flip_identical_bits(self, lenet_prepared,
+                                                  lenet_protected):
+        """Unprotected and protected campaigns consume the same bit draws."""
+        protected, _ = lenet_protected
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(4, seed=0)
+        base = FaultInjectionCampaign(lenet_prepared.model, inputs, seed=2)
+        guarded = FaultInjectionCampaign(protected, inputs, seed=2)
+        plans = base.generate_plans(20)
+        base_result = base.run(plans=plans, keep_faults=True)
+        guarded_result = guarded.run(plans=plans, keep_faults=True)
+        assert _fault_records(base_result) == _fault_records(guarded_result)
+
+    def test_compare_protection_invariant_under_fan_out(self, lenet_prepared,
+                                                        lenet_protected):
+        protected, _ = lenet_protected
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(4, seed=0)
+        serial = compare_protection(lenet_prepared.model, protected, inputs,
+                                    trials=20, seed=3)
+        fanned = compare_protection(lenet_prepared.model, protected, inputs,
+                                    trials=20, seed=3, workers=2)
+        for reference, result in zip(serial, fanned):
+            assert result.sdc_counts == reference.sdc_counts
+            assert result.trials == reference.trials
+
+
+class TestSummaryCounts:
+    def test_summary_reports_zero_sdc_criteria(self, lenet_prepared):
+        """A criterion with zero observed SDCs still shows its trial count."""
+
+        class NoOpFault(StuckAtZeroFault):
+            def corrupt(self, value, rng):
+                return value, None
+
+        inputs, _ = lenet_prepared.correctly_predicted_inputs(2, seed=0)
+        campaign = FaultInjectionCampaign(lenet_prepared.model, inputs,
+                                          fault_model=NoOpFault(), seed=0)
+        text = campaign.run(trials=10).summary()
+        assert "[0/10 trials]" in text
+
+    def test_summary_reports_counts_per_criterion(self):
+        result = CampaignResult(model_name="m", fault_model="f", trials=8,
+                                sdc_counts={"top1": 3, "top5": 0})
+        text = result.summary()
+        assert "[3/8 trials]" in text
+        assert "[0/8 trials]" in text
