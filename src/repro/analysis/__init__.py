@@ -10,6 +10,7 @@ from .metrics import (
     top_k_accuracy,
 )
 from .reporting import (
+    equivalence_note,
     format_cell,
     reduction_factor,
     relative_reduction_percent,
@@ -23,6 +24,7 @@ __all__ = [
     "FlopsReport",
     "average_deviation",
     "count_flops",
+    "equivalence_note",
     "evaluate_accuracy",
     "format_cell",
     "merge_count_dicts",

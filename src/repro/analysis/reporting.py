@@ -65,6 +65,21 @@ def render_comparison(title: str, labels: Sequence[str],
                          labels, title=title, precision=precision)
 
 
+def equivalence_note(mode: str, max_ulp_deviation: float = 0.0) -> str:
+    """One-line description of a result's numerical-equivalence guarantee.
+
+    Campaign summaries attach this to every result so a reader can tell
+    whether the numbers come from the bit-exact incremental path
+    (``exact``) or from batched replay (``ulp_tolerant``), and — for
+    tolerant runs — how far any masked row actually strayed from its
+    batch-1 golden value (in float64 ULPs).
+    """
+    if mode == "exact":
+        return "equivalence: exact (bit-identical replay)"
+    return (f"equivalence: {mode} "
+            f"(max observed deviation {max_ulp_deviation:g} ulps)")
+
+
 def reduction_factor(before: float, after: float) -> float:
     """The paper's "Nx reduction" headline number (before / after)."""
     if after <= 0:

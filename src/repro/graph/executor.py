@@ -23,6 +23,8 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
 import numpy as np
 
 from ..ops.base import Array, Operator, Placeholder, Variable
+from .equivalence import (DEFAULT_MAX_ULPS, EquivalenceMode,
+                          max_row_ulp_distance)
 from .graph import Graph, GraphError, Node
 
 #: An output hook receives (node, output) and returns a possibly-modified
@@ -85,6 +87,36 @@ class ExecutionResult:
         if len(self.outputs) != 1:
             raise KeyError(
                 f"graph has {len(self.outputs)} outputs; specify which one")
+        return next(iter(self.outputs.values()))
+
+
+@dataclass
+class BatchedExecutionResult:
+    """Outputs of one batched partial re-execution (B trials in one pass).
+
+    ``outputs`` maps each requested node to a stacked ``(B, ...)`` array —
+    row ``i`` is trial ``i``'s output.  ``recomputed`` is the set of nodes
+    whose operators were re-evaluated at least once; ``rows_evaluated``
+    counts *node-row* evaluations (the batched analogue of the incremental
+    path's per-node count: re-evaluating one node for 3 of B rows adds 3).
+    ``max_ulp_deviation`` is the largest ULP distance observed between a
+    row that change propagation declared *clean* and its batch-1 golden
+    value — the tolerance the run actually consumed, reported alongside
+    ULP_TOLERANT results so the equivalence claim is auditable.
+    """
+
+    outputs: Dict[str, Array]
+    recomputed: Set[str] = field(default_factory=set)
+    rows_evaluated: int = 0
+    max_ulp_deviation: float = 0.0
+
+    def output(self, name: Optional[str] = None) -> Array:
+        if name is not None:
+            return self.outputs[name]
+        if len(self.outputs) != 1:
+            raise KeyError(
+                f"batched result has {len(self.outputs)} outputs; "
+                f"specify which one")
         return next(iter(self.outputs.values()))
 
 
@@ -331,6 +363,344 @@ class Executor:
             values=values,
             recomputed=recomputed,
         )
+
+    # -- batched partial re-execution ------------------------------------------
+
+    @staticmethod
+    def _row_divergence(rows: Array, cached: Optional[Array],
+                        threshold: float) -> Tuple[np.ndarray, float]:
+        """Classify stacked rows against a batch-1 cached value.
+
+        Returns ``(dirty, max_clean_deviation)``: a boolean mask of the rows
+        whose maximum ULP distance from the cached row exceeds ``threshold``
+        (all rows when no cached value exists or shapes/dtypes are not
+        comparable), and the largest distance among the rows declared clean
+        (the tolerance actually consumed).
+
+        Hot path: a single subtract/abs/row-max sweep decides almost every
+        row — zero peak deviation is clean at any threshold (fixed-point
+        dtype policies quantize masked rows back onto exactly the cached
+        grid values), and a surviving fault's deviation provably exceeds
+        any sane ULP threshold — so the exact ULP arithmetic only ever
+        touches the rare undecided rows.
+        """
+        rows = np.asarray(rows)
+        count = rows.shape[0]
+        if (cached is None or np.asarray(cached).dtype != rows.dtype
+                or np.asarray(cached).shape[1:] != rows.shape[1:]):
+            return np.ones(count, dtype=bool), 0.0
+        if rows.dtype != np.float64:  # pragma: no cover - defensive
+            dirty = np.array([not np.array_equal(rows[i], cached[0])
+                              for i in range(count)], dtype=bool)
+            return dirty, 0.0
+        # One subtract+abs pass and a row max classify almost everything:
+        # a row with zero deviation is clean at any threshold (fixed-point
+        # quantization snaps masked rows to exactly this), and a row whose
+        # peak deviation provably exceeds the threshold in ULPs is surely
+        # dirty.  The ULP size at magnitude m is at most eps*m for normal
+        # floats, and for the peak-deviation element |a| <= max|cached| and
+        # |b| <= max|cached| + peak, so peak > threshold * eps *
+        # (max|cached| + peak) proves the distance exceeds the threshold —
+        # a real fault's deviation sits astronomically above this line.
+        # (Subnormals can be over-flagged as dirty, which only forgoes
+        # masking, never correctness.)
+        delta = np.subtract(rows, cached)
+        np.abs(delta, out=delta)
+        peak = delta.reshape(count, -1).max(axis=1)
+        max_cached = float(np.abs(cached).max()) if cached.size else 0.0
+        eps = np.finfo(np.float64).eps
+        surely_dirty = peak > threshold * eps * (max_cached + peak)
+        # Undecided rows: nonzero deviation below the screen (BLAS
+        # reassociation noise) or NaN peaks (NaN comparisons are False on
+        # both screens).  Only these pay for exact ULP distances, which
+        # also treat equal-payload NaNs as distance 0.
+        undecided = np.flatnonzero(~surely_dirty & ~(peak == 0.0))
+        if not len(undecided):
+            return surely_dirty, 0.0
+        dirty = surely_dirty.copy()
+        dist = max_row_ulp_distance(rows[undecided], cached)
+        dirty[undecided] = dist > threshold
+        clean = dist[dist <= threshold]
+        return dirty, float(clean.max()) if clean.size else 0.0
+
+    def _broadcast_cached(self, cached_values: Mapping[str, Array],
+                          name: str, count: int) -> Array:
+        """A cached input as the batched evaluation of ``name`` sees it.
+
+        Batch-invariant nodes (variables, constants — ``batch_axis is
+        None``) are shared by every row and passed through untouched;
+        batch-carrying cached values (shape ``(1, ...)``) are broadcast to
+        ``count`` rows as a zero-copy view.
+        """
+        try:
+            value = cached_values[name]
+        except KeyError:
+            raise GraphError(
+                f"run_from_batched(): no cached value for node "
+                f"'{name}'") from None
+        if self.graph.node(name).op.batch_axis is None:
+            return value
+        value = np.asarray(value)
+        return np.broadcast_to(value, (count,) + value.shape[1:])
+
+    def run_from_batched(self, cached_values: Mapping[str, Array],
+                         dirty: Union[str, Iterable[str]] = (),
+                         stacked_dirty_values: Optional[Mapping[str, Array]] = None,
+                         outputs: Optional[Sequence[str]] = None,
+                         feed: Optional[Mapping[str, Array]] = None,
+                         equivalence: Union[EquivalenceMode, str, None] = None,
+                         max_ulps: float = DEFAULT_MAX_ULPS,
+                         ) -> BatchedExecutionResult:
+        """Replay B independent trials in one batched partial re-execution.
+
+        The batched sibling of :meth:`run_from`: resumes from a **batch-1**
+        golden activation cache, but carries a ``(B, ...)``-stacked dirty
+        frontier through the fault cone so B trials that share an input pay
+        for one executor pass (and one BLAS call per re-evaluated node)
+        instead of B.  Cached upstream values are broadcast against the
+        stacked frontier (batch-invariant weights pass through untouched —
+        see :attr:`~repro.ops.base.Operator.batch_axis`), and every operator
+        in the cone is audited against the batch-transparency contract
+        (:attr:`~repro.ops.base.Operator.batch_transparent`); a
+        batch-coupled operator (training-mode BatchNorm or Dropout, an
+        axis-0 concat) raises :class:`GraphError` instead of silently
+        entangling trials.
+
+        Change propagation is tracked **per row**: a re-evaluated node keeps
+        a boolean mask of the rows that still differ from the golden cache,
+        rows whose fault was masked are snapped back to their golden values
+        and drop out of downstream evaluations (a node re-evaluates only the
+        rows whose mask is set), and the pass terminates early once no dirty
+        row remains — so a batch whose faults all get squashed costs little
+        more than a single masked batch-1 replay.
+
+        Equivalence guarantee: BLAS kernels are not bit-stable across batch
+        shapes, so batched rows may differ from their batch-1 replays in the
+        last few ULPs.  Under the default ``ULP_TOLERANT`` mode a row counts
+        as clean when it is within ``max_ulps`` of the cache, and the result
+        reports the maximum deviation consumed by such rows
+        (``max_ulp_deviation``).  ``EXACT`` mode uses bit-identity for the
+        row masks (threshold 0); it makes the replay itself deterministic
+        relative to the cache but cannot turn batched BLAS calls bit-stable,
+        which is why campaigns refuse ``EXACT`` for ``batch_trials > 1``.
+
+        Parameters
+        ----------
+        cached_values:
+            Batch-1 node-name → activation mapping from a prior fault-free
+            run of the same input.
+        dirty:
+            Node name(s) whose operators must be re-evaluated for every row.
+        stacked_dirty_values:
+            Node name → ``(B, ...)`` replacement outputs, installed without
+            re-evaluation (row ``i`` is trial ``i``'s corrupted activation).
+            All stacked values must agree on ``B``.
+        outputs:
+            Node names to report; defaults to the graph's marked outputs.
+        feed:
+            Only needed when a placeholder itself is marked dirty; the fed
+            value may have 1 or B rows.
+        equivalence:
+            Row-masking mode; defaults to ``ULP_TOLERANT``.
+        max_ulps:
+            Row-masking tolerance under ``ULP_TOLERANT``.
+        """
+        mode = EquivalenceMode.coerce(equivalence, EquivalenceMode.ULP_TOLERANT)
+        threshold = 0.0 if mode is EquivalenceMode.EXACT else float(max_ulps)
+        feed = dict(feed or {})
+        requested = list(outputs) if outputs is not None else list(self.graph.outputs)
+        if not requested:
+            raise GraphError("graph has no outputs and none were requested")
+        missing = [name for name in requested if name not in self.graph]
+        if missing:
+            raise GraphError(f"requested outputs not in graph: {missing}")
+        overrides = {name: np.asarray(value)
+                     for name, value in (stacked_dirty_values or {}).items()}
+        reeval_seeds = ({dirty} if isinstance(dirty, str) else set(dirty))
+        reeval_seeds -= set(overrides)
+        seeds = reeval_seeds | set(overrides)
+        for name in seeds:
+            if name not in self.graph:
+                raise GraphError(f"unknown dirty node '{name}'")
+        batch_sizes = {value.shape[0] for value in overrides.values()}
+        if len(batch_sizes) > 1:
+            raise GraphError(
+                f"stacked dirty values disagree on the batch size: "
+                f"{sorted(batch_sizes)}")
+        batch = batch_sizes.pop() if batch_sizes else 1
+
+        cone = self.graph.downstream(seeds) if seeds else set()
+        needed = self.graph.ancestors(requested)
+        recompute = (cone & needed) - set(overrides)
+        if batch > 1:
+            coupled = [name for name in (recompute | set(overrides))
+                       if not self.graph.node(name).op.batch_transparent]
+            if coupled:
+                ops = {name: type(self.graph.node(name).op).__name__
+                       for name in sorted(coupled)}
+                raise GraphError(
+                    f"run_from_batched(): batch-coupled operators in the "
+                    f"replay cone cannot stack independent trials: {ops} "
+                    f"(training-mode BatchNorm/Dropout and axis-0 concats "
+                    f"violate the batch-transparency contract)")
+
+        # Sparse dirty-row representation: per node, a boolean row mask and
+        # the packed values of *only* the dirty rows (in row order).  Rows
+        # absent from the mask are implicitly golden — masked faults cost
+        # nothing downstream, nothing is ever filled with B-row copies of
+        # cached activations, and a consumer whose needed rows coincide
+        # with an input's dirty rows reuses the packed array with zero
+        # copies (the common case inside a batch that shares a fault site).
+        dirty_masks: Dict[str, np.ndarray] = {}
+        dirty_rows_of: Dict[str, Array] = {}
+        recomputed: Set[str] = set()
+        rows_evaluated = 0
+        max_deviation = 0.0
+
+        topo = self.graph.topo_index()
+
+        def influence_horizon(name: str) -> int:
+            return max((topo[c] for c in self.graph.successors(name)
+                        if c in recompute), default=-1)
+
+        last_dirty_use = -1
+        for name, rows in overrides.items():
+            cached = cached_values.get(name)
+            if cached is not None and np.asarray(cached).shape[1:] != rows.shape[1:]:
+                raise GraphError(
+                    f"run_from_batched(): stacked value for '{name}' has row "
+                    f"shape {rows.shape[1:]}, cache has "
+                    f"{np.asarray(cached).shape[1:]}")
+            # Every override row counts as dirty without inspection: stacked
+            # dirty values are corrupted activations by contract, and a
+            # corruption that happens to reproduce the golden value (e.g. a
+            # stuck-at-zero fault on an already-zero element) is simply
+            # masked one node later, when its consumer's output snaps back
+            # to the cache — same results, and it spares two full passes
+            # over the (B, ...) stack per fault node on the hot path.
+            dirty_masks[name] = np.ones(batch, dtype=bool)
+            dirty_rows_of[name] = rows
+            last_dirty_use = max(last_dirty_use, influence_horizon(name))
+        pending_seeds = len(reeval_seeds & recompute)
+
+        def assemble_input(name: str, need: np.ndarray,
+                           count: int) -> Array:
+            """An input's rows for the ``count`` rows a consumer evaluates.
+
+            Clean rows come from the (broadcast) golden cache; dirty rows
+            from the packed store.  When the consumer needs exactly the
+            input's dirty rows — the common case — the packed array is
+            returned as-is, copy-free.
+            """
+            mask = dirty_masks.get(name)
+            if (mask is None
+                    or self.graph.node(name).op.batch_axis is None):
+                return self._broadcast_cached(cached_values, name, count)
+            packed = dirty_rows_of[name]
+            if np.array_equal(mask, need):
+                return packed
+            try:
+                cached = cached_values[name]
+            except KeyError:
+                raise GraphError(
+                    f"run_from_batched(): no cached value for partially "
+                    f"dirty input '{name}'") from None
+            cached = np.asarray(cached)
+            assembled = np.array(np.broadcast_to(
+                cached, (count,) + cached.shape[1:]))
+            position_of = np.cumsum(need) - 1
+            assembled[position_of[mask]] = packed
+            return assembled
+
+        for name in sorted(recompute, key=topo.__getitem__):
+            if not pending_seeds and topo[name] > last_dirty_use:
+                break  # no remaining node can see a dirty row
+            node = self.graph.node(name)
+            is_seed = name in reeval_seeds
+            need = np.zeros(batch, dtype=bool)
+            for inp in node.inputs:
+                mask = dirty_masks.get(inp)
+                if mask is not None:
+                    need |= mask
+            if is_seed:
+                need[:] = True
+            if not need.any():
+                continue  # every input row is clean: the cache stands
+            if node.op.batch_axis is None:
+                raise GraphError(
+                    f"run_from_batched(): cannot re-evaluate batch-invariant "
+                    f"node '{name}' ({type(node.op).__name__}) in a batched "
+                    f"replay; use run_from() for weight/constant updates")
+            cached = cached_values.get(name)
+            need_idx = np.flatnonzero(need)
+            count = len(need_idx)
+            if isinstance(node.op, Placeholder):
+                if name not in feed:
+                    raise GraphError(
+                        f"placeholder '{name}' is dirty but no value was fed")
+                fed = np.asarray(feed[name], dtype=np.float64)
+                if fed.shape[0] == 1:
+                    fed = np.broadcast_to(fed, (batch,) + fed.shape[1:])
+                elif fed.shape[0] != batch:
+                    raise GraphError(
+                        f"fed value for dirty placeholder '{name}' has "
+                        f"{fed.shape[0]} rows; expected 1 or {batch}")
+                out = np.array(fed[need_idx], dtype=np.float64)
+            else:
+                try:
+                    args = [assemble_input(inp, need, count)
+                            for inp in node.inputs]
+                except KeyError as exc:  # pragma: no cover - defensive
+                    raise GraphError(
+                        f"run_from_batched(): no cached value for input "
+                        f"{exc} of node '{name}'") from None
+                out = node.op.forward(*args)
+            out = self._evaluate(node, out)
+            rows_evaluated += count
+            recomputed.add(name)
+            if is_seed:
+                pending_seeds -= 1
+            dirty, deviation = self._row_divergence(out, cached, threshold)
+            max_deviation = max(max_deviation, deviation)
+            if cached is None:
+                # Without a golden value there is nothing to snap clean rows
+                # back to: keep every evaluated row dirty.
+                dirty = np.ones(count, dtype=bool)
+            if dirty.any():
+                mask = np.zeros(batch, dtype=bool)
+                mask[need_idx[dirty]] = True
+                dirty_masks[name] = mask
+                dirty_rows_of[name] = np.asarray(out)[dirty]
+                last_dirty_use = max(last_dirty_use, influence_horizon(name))
+            else:
+                dirty_masks.pop(name, None)
+                dirty_rows_of.pop(name, None)
+
+        results: Dict[str, Array] = {}
+        for name in requested:
+            mask = dirty_masks.get(name)
+            if mask is None:
+                results[name] = np.array(self._broadcast_cached(
+                    cached_values, name, batch))
+                continue
+            packed = dirty_rows_of[name]
+            if mask.all():
+                results[name] = np.ascontiguousarray(packed)
+                continue
+            try:
+                cached = np.asarray(cached_values[name])
+            except KeyError:
+                raise GraphError(
+                    f"run_from_batched(): requested output '{name}' has "
+                    f"clean rows but no cached value to serve them "
+                    f"from") from None
+            full = np.array(np.broadcast_to(cached,
+                                            (batch,) + cached.shape[1:]))
+            full[mask] = packed
+            results[name] = full
+        return BatchedExecutionResult(outputs=results, recomputed=recomputed,
+                                      rows_evaluated=rows_evaluated,
+                                      max_ulp_deviation=max_deviation)
 
     # -- training ---------------------------------------------------------------
 

@@ -1,6 +1,8 @@
 """Fault injection: fault models, the injector, SDC criteria, and campaigns."""
 
+from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
 from .campaign import (
+    DEFAULT_CACHE_BUDGET_BYTES,
     CampaignResult,
     CampaignSpec,
     FaultInjectionCampaign,
@@ -36,6 +38,9 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "ConsecutiveBitFlip",
+    "DEFAULT_CACHE_BUDGET_BYTES",
+    "DEFAULT_MAX_ULPS",
+    "EquivalenceMode",
     "FaultInjectionCampaign",
     "FaultInjector",
     "FaultModel",

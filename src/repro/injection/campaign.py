@@ -30,6 +30,25 @@ which process executes it, how the trial list is chunked, or how many workers
 run — so ``run(workers=N)`` is bit-identical to the serial path for every
 ``N``, and two same-seed campaigns (e.g. the unprotected and protected sides
 of :func:`compare_protection`) corrupt the same values with the same bits.
+
+Batched execution
+-----------------
+
+``run(batch_trials=B)`` additionally stacks up to ``B`` trials that share an
+``(input, fault-node set)`` into one batched partial re-execution
+(:meth:`Executor.run_from_batched` via
+:meth:`FaultInjector.inject_cached_batch`): the B corrupted activations
+travel as one ``(B, ...)`` tensor, so every re-evaluated node in the fault
+cone costs one BLAS call instead of B.  Trial *identity* is untouched —
+plans are pre-sampled exactly as before and each trial keeps its own
+:func:`trial_rng` stream — so batching composes with ``workers=N`` sharding
+and with paired comparisons, and the applied-fault records stay
+bit-identical.  What weakens is the *numerical* guarantee: BLAS kernels are
+not bit-stable across batch shapes, so batched results carry the
+``ULP_TOLERANT`` equivalence mode (same SDC verdicts in practice, outputs
+within a few float64 ULPs of the batch-1 replay) and report the maximum
+deviation actually observed.  The default ``batch_trials=1`` path remains
+bit-exact (``EXACT``).
 """
 
 from __future__ import annotations
@@ -42,11 +61,26 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.metrics import merge_count_dicts
+from ..analysis.reporting import equivalence_note
 from ..graph import DTypePolicy, Executor
+from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
 from ..models.base import Model
 from .fault_models import FaultModel, FaultSpec, SingleBitFlip
 from .injector import FaultInjector, InjectionPlan
 from .sdc import SDCCriterion, criteria_for_model
+
+#: Default ceiling (bytes) on the golden activation caches shipped inside a
+#: pickled :class:`CampaignSpec` to worker processes.  Below the budget,
+#: workers reuse the parent's caches instead of rebuilding them; above it,
+#: the spec ships without caches and workers rebuild lazily as before.
+#: The default is deliberately small: the spec is pickled once per worker
+#: task, so shipping costs ``workers x (pickle + unpickle)`` of the payload
+#: while the lazy rebuild costs one batch-1 inference per (worker, input)
+#: — measured on this zoo, the transfer only beats the rebuild when the
+#: payload is tiny relative to the model's inference cost.  Raise the
+#: budget for deployments where worker-side compute is the scarce resource
+#: (e.g. heavily oversubscribed hosts), or set 0 to never ship.
+DEFAULT_CACHE_BUDGET_BYTES = 1 * 2 ** 20
 
 
 def trial_rng(seed: int, trial_index: int) -> np.random.Generator:
@@ -97,9 +131,20 @@ class CampaignResult:
     faults: List[List[FaultSpec]] = field(default_factory=list)
     #: Incremental-execution statistics: how many node evaluations the
     #: campaign actually performed vs. what full re-execution would have
-    #: performed.  Both stay 0 when the campaign ran in full mode.
+    #: performed.  Both stay 0 when the campaign ran in full mode.  For
+    #: batched runs, one node re-evaluated for R of B stacked rows counts
+    #: as R evaluations (the batched analogue of per-trial node counts).
     nodes_recomputed: int = 0
     nodes_full: int = 0
+    #: The numerical guarantee these results satisfy (an
+    #: :class:`~repro.graph.EquivalenceMode` value): ``"exact"`` for the
+    #: bit-exact incremental/full paths, ``"ulp_tolerant"`` for batched
+    #: replay (BLAS kernels are not bit-stable across batch shapes).
+    equivalence: str = EquivalenceMode.EXACT.value
+    #: Largest ULP distance between a row that batched change propagation
+    #: declared clean and its batch-1 golden value — the tolerance the run
+    #: actually consumed.  Always 0.0 for exact runs.
+    max_ulp_deviation: float = 0.0
 
     @property
     def recompute_fraction(self) -> Optional[float]:
@@ -157,6 +202,11 @@ class CampaignResult:
                     f"cannot merge results of different campaigns: "
                     f"{first.model_name} [{first.fault_model}] vs. "
                     f"{other.model_name} [{other.fault_model}]")
+            if other.equivalence != first.equivalence:
+                raise ValueError(
+                    f"cannot merge shards with different equivalence "
+                    f"guarantees: {first.equivalence} vs. "
+                    f"{other.equivalence}")
         return cls(
             model_name=first.model_name,
             fault_model=first.fault_model,
@@ -166,10 +216,14 @@ class CampaignResult:
             faults=[faults for s in shards for faults in s.faults],
             nodes_recomputed=sum(s.nodes_recomputed for s in shards),
             nodes_full=sum(s.nodes_full for s in shards),
+            equivalence=first.equivalence,
+            max_ulp_deviation=max(s.max_ulp_deviation for s in shards),
         )
 
     def summary(self) -> str:
         lines = [f"{self.model_name} [{self.fault_model}] — {self.trials} trials"]
+        lines.append(
+            "  " + equivalence_note(self.equivalence, self.max_ulp_deviation))
         for criterion in self.criteria:
             count = self.sdc_counts[criterion]
             lines.append(
@@ -294,7 +348,12 @@ class FaultInjectionCampaign:
             keep_faults: bool = False,
             incremental: bool = True,
             workers: int = 1,
-            trial_offset: int = 0) -> CampaignResult:
+            trial_offset: int = 0,
+            batch_trials: int = 1,
+            equivalence=None,
+            max_ulps: float = DEFAULT_MAX_ULPS,
+            cache_budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+            ) -> CampaignResult:
         """Run the campaign and return aggregated SDC statistics.
 
         Parameters
@@ -316,18 +375,68 @@ class FaultInjectionCampaign:
             Global index of the first trial in ``plans``; used by the
             parallel backend so each shard derives the same per-trial RNG
             streams the serial path would.
+        batch_trials:
+            Maximum number of trials replayed per batched executor call.
+            ``1`` (default) keeps the bit-exact incremental path.  ``B > 1``
+            groups trials that share an ``(input, fault-node set)`` and
+            replays each group by stacking its corrupted activations along
+            the batch dimension (one BLAS call per re-evaluated node instead
+            of B) — see :meth:`FaultInjector.inject_cached_batch`.  Trial
+            identity is untouched (every trial keeps its own
+            :func:`trial_rng` stream), so batching composes with
+            ``workers=N`` and with paired comparisons; only the numerical
+            guarantee weakens from bit-exact to ``ULP_TOLERANT``.
+        equivalence:
+            The :class:`~repro.graph.EquivalenceMode` (or its string value)
+            the run must satisfy.  Defaults to ``EXACT`` for
+            ``batch_trials=1`` and ``ULP_TOLERANT`` otherwise; requesting
+            ``EXACT`` together with ``batch_trials > 1`` raises
+            ``ValueError`` because batched BLAS calls cannot promise bit
+            stability.
+        max_ulps:
+            Row-masking tolerance (float64 ULPs) for batched replay.
+        cache_budget_bytes:
+            Ceiling on the golden activation caches shipped to worker
+            processes inside the pickled spec (0 disables shipping); above
+            the budget workers rebuild their caches lazily as before.
         """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if batch_trials < 1:
+            raise ValueError(
+                f"batch_trials must be positive, got {batch_trials}")
+        mode = EquivalenceMode.coerce(
+            equivalence, EquivalenceMode.EXACT if batch_trials == 1
+            else EquivalenceMode.ULP_TOLERANT)
+        if batch_trials > 1:
+            if mode is EquivalenceMode.EXACT:
+                raise ValueError(
+                    "batch_trials > 1 cannot satisfy EXACT equivalence: "
+                    "BLAS kernels are not bit-stable across batch shapes; "
+                    "request ULP_TOLERANT (the batched default) or run with "
+                    "batch_trials=1")
+            if not incremental:
+                raise ValueError(
+                    "batch_trials > 1 requires the incremental engine "
+                    "(batched replay resumes from golden activation caches)")
         if plans is None:
             plans = self.generate_plans(trials)
         if workers > 1 and len(plans) > 1:
             return self._run_parallel(plans, workers=workers,
                                       keep_faults=keep_faults,
                                       incremental=incremental,
-                                      trial_offset=trial_offset)
+                                      trial_offset=trial_offset,
+                                      batch_trials=batch_trials,
+                                      equivalence=mode,
+                                      max_ulps=max_ulps,
+                                      cache_budget_bytes=cache_budget_bytes)
+        if batch_trials > 1:
+            return self._run_batched(plans, batch_trials=batch_trials,
+                                     keep_faults=keep_faults,
+                                     trial_offset=trial_offset,
+                                     mode=mode, max_ulps=max_ulps)
         sdc_counts = {criterion.name: 0 for criterion in self.criteria}
         fault_log: List[List[FaultSpec]] = []
         # Per-trial cost of the full path: the ancestor-pruned subgraph it
@@ -360,25 +469,151 @@ class FaultInjectionCampaign:
                               trials=len(plans), sdc_counts=sdc_counts,
                               faults=fault_log,
                               nodes_recomputed=nodes_recomputed,
-                              nodes_full=nodes_full)
+                              nodes_full=nodes_full,
+                              equivalence=mode.value)
+
+    # -- batched scheduling ------------------------------------------------
+
+    def group_batches(self, plans: Sequence[Tuple[int, InjectionPlan]],
+                      batch_trials: int,
+                      ) -> Tuple[List[Tuple[int, List[int]]], List[int]]:
+        """Group trial positions into batchable stacks.
+
+        Trials are batchable together when they share an input *and* a
+        fault-node set (their stacked corruptions then share one replay
+        cone); each group is chunked into batches of at most
+        ``batch_trials``.  Returns ``(batches, fallback)`` where each batch
+        is ``(input_index, positions)`` and ``fallback`` lists positions of
+        plans with overlapping sites, which must be replayed hook-based one
+        at a time.  Grouping is deterministic (first-seen order) and does
+        not reorder trial identities — every position keeps its global
+        :func:`trial_rng` stream.
+        """
+        groups: Dict[Tuple[int, frozenset], List[int]] = {}
+        fallback: List[int] = []
+        for position, (input_index, plan) in enumerate(plans):
+            if self.injector.plan_sites_overlap(plan):
+                fallback.append(position)
+                continue
+            key = (input_index, frozenset(plan.node_names()))
+            groups.setdefault(key, []).append(position)
+        batches: List[Tuple[int, List[int]]] = []
+        for (input_index, _), positions in groups.items():
+            for start in range(0, len(positions), batch_trials):
+                batches.append((input_index,
+                                positions[start:start + batch_trials]))
+        return batches, fallback
+
+    def _run_batched(self, plans: List[Tuple[int, InjectionPlan]],
+                     batch_trials: int, keep_faults: bool, trial_offset: int,
+                     mode: EquivalenceMode, max_ulps: float) -> CampaignResult:
+        """Serial batched backend: replay grouped trials in stacked passes."""
+        sdc_counts = {criterion.name: 0 for criterion in self.criteria}
+        fault_log: List[Optional[List[FaultSpec]]] = [None] * len(plans)
+        full_cost = len(self.model.graph.ancestors([self.model.output_name]))
+        nodes_recomputed = 0
+        nodes_full = len(plans) * full_cost
+        max_deviation = 0.0
+
+        batches, fallback = self.group_batches(plans, batch_trials)
+        for input_index, positions in batches:
+            cache = self._golden_cache(input_index)
+            golden = self._golden[input_index]
+            batch_plans = [plans[position][1] for position in positions]
+            rngs = [trial_rng(self.seed, trial_offset + position)
+                    for position in positions]
+            stacked, faults, result = self.injector.inject_cached_batch(
+                self._executor, cache, batch_plans, rngs,
+                equivalence=mode, max_ulps=max_ulps,
+                validate_overlap=False)  # group_batches already screened
+            nodes_recomputed += result.rows_evaluated
+            max_deviation = max(max_deviation, result.max_ulp_deviation)
+            for criterion in self.criteria:
+                verdicts = criterion.is_sdc_rows(golden, stacked)
+                sdc_counts[criterion.name] += int(np.count_nonzero(verdicts))
+            if keep_faults:
+                for position, trial_faults in zip(positions, faults):
+                    fault_log[position] = trial_faults
+        for position in fallback:
+            input_index, plan = plans[position]
+            rng = trial_rng(self.seed, trial_offset + position)
+            cache = self._golden_cache(input_index)
+            faulty, faults, result = self.injector.inject_cached(
+                self._executor, cache, plan, rng=rng)
+            nodes_recomputed += len(result.recomputed or ())
+            for criterion in self.criteria:
+                if criterion.is_sdc(self._golden[input_index], faulty):
+                    sdc_counts[criterion.name] += 1
+            if keep_faults:
+                fault_log[position] = faults
+
+        return CampaignResult(model_name=self.model.name,
+                              fault_model=self.fault_model.describe(),
+                              trials=len(plans), sdc_counts=sdc_counts,
+                              faults=(list(fault_log) if keep_faults else []),
+                              nodes_recomputed=nodes_recomputed,
+                              nodes_full=nodes_full,
+                              equivalence=mode.value,
+                              max_ulp_deviation=max_deviation)
+
+    def ship_golden_caches(self, spec: "CampaignSpec",
+                           plans: Sequence[Tuple[int, InjectionPlan]],
+                           cache_budget_bytes: int) -> bool:
+        """Attach this campaign's golden caches to ``spec`` when they fit.
+
+        Builds the caches of every input the plans reference and ships them
+        inside the spec when their total payload stays within
+        ``cache_budget_bytes``, so workers skip the per-process golden
+        rebuild.  Above the budget the spec ships without caches and
+        workers rebuild lazily as before.  Returns whether the caches were
+        attached.
+
+        Per-input cache sizes are identical (same graph, same shapes), so
+        any already-built cache prices the whole payload without building
+        the rest — an over-budget campaign is rejected after at most one
+        parent-side cache build (which stays in ``_golden_caches`` for any
+        later in-process run), never after building all of them.
+        """
+        if cache_budget_bytes <= 0:
+            return False
+        needed = sorted({input_index for input_index, _ in plans})
+        if not needed:
+            return False
+        probe = next(iter(self._golden_caches.values()), None)
+        if probe is None:
+            probe = self._golden_cache(needed[0])
+        per_input = sum(np.asarray(value).nbytes for value in probe.values())
+        if per_input * len(needed) > cache_budget_bytes:
+            return False
+        spec.golden_caches = {input_index: self._golden_cache(input_index)
+                              for input_index in needed}
+        return True
 
     def _run_parallel(self, plans: List[Tuple[int, InjectionPlan]],
                       workers: int, keep_faults: bool, incremental: bool,
-                      trial_offset: int) -> CampaignResult:
+                      trial_offset: int, batch_trials: int = 1,
+                      equivalence: Optional[EquivalenceMode] = None,
+                      max_ulps: float = DEFAULT_MAX_ULPS,
+                      cache_budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+                      ) -> CampaignResult:
         """Fan ``plans`` out across ``workers`` processes and merge the shards.
 
         Plans travel as plain-tuple payloads (see
         :meth:`InjectionPlan.to_payload`) next to a pickled
-        :class:`CampaignSpec`; each worker rebuilds the model, executor and
-        its own golden activation caches, so no process shares mutable
-        state.  Shard results come back in trial order and are merged with
-        :meth:`CampaignResult.merge`.
+        :class:`CampaignSpec`; each worker rebuilds the model and executor,
+        and either reuses the parent's golden activation caches (shipped
+        with the spec when they fit ``cache_budget_bytes``) or rebuilds its
+        own, so no process shares mutable state.  Shard results come back
+        in trial order and are merged with :meth:`CampaignResult.merge`.
         """
         shards = shard_plans(plans, workers)
         spec = self.spec()
+        if incremental:
+            self.ship_golden_caches(spec, plans, cache_budget_bytes)
         payloads = [(offset, [(index, plan.to_payload())
                               for index, plan in chunk])
                     for offset, chunk in shards]
+        mode_value = equivalence.value if equivalence is not None else None
         # fork (where available) keeps worker start-up cheap; the spec is
         # still pickled and shipped through the pool's task queue, so the
         # worker protocol is identical under spawn.
@@ -390,7 +625,8 @@ class FaultInjectionCampaign:
                                  mp_context=context) as pool:
             futures = [pool.submit(_run_campaign_shard, spec, chunk,
                                    trial_offset + offset, keep_faults,
-                                   incremental)
+                                   incremental, batch_trials, mode_value,
+                                   max_ulps)
                        for offset, chunk in payloads]
             partials = [future.result() for future in futures]
         return CampaignResult.merge(partials)
@@ -406,6 +642,13 @@ class CampaignSpec:
     constructor, which re-profiles the injectable state space and recomputes
     the golden outputs, so a rebuilt campaign is indistinguishable from the
     original (both are pure functions of this state).
+
+    ``golden_caches`` optionally carries the parent's per-input golden
+    activation caches (see
+    :meth:`FaultInjectionCampaign.ship_golden_caches`): the caches are pure
+    functions of the same state, so pre-seeding them in ``build()`` changes
+    nothing about the rebuilt campaign's results — it only skips the
+    worker's most expensive fixed cost.
     """
 
     model: Model
@@ -414,30 +657,41 @@ class CampaignSpec:
     criteria: List[SDCCriterion]
     dtype_policy: Optional[DTypePolicy]
     seed: int
+    golden_caches: Optional[Dict[int, Dict[str, np.ndarray]]] = None
 
     def build(self) -> FaultInjectionCampaign:
-        return FaultInjectionCampaign(self.model, self.inputs,
-                                      fault_model=self.fault_model,
-                                      criteria=self.criteria,
-                                      dtype_policy=self.dtype_policy,
-                                      seed=self.seed)
+        campaign = FaultInjectionCampaign(self.model, self.inputs,
+                                          fault_model=self.fault_model,
+                                          criteria=self.criteria,
+                                          dtype_policy=self.dtype_policy,
+                                          seed=self.seed)
+        if self.golden_caches:
+            campaign._golden_caches.update(
+                {int(index): dict(cache)
+                 for index, cache in self.golden_caches.items()})
+        return campaign
 
 
 def _run_campaign_shard(spec: CampaignSpec,
                         payload: Sequence[Tuple[int, Sequence[Tuple[str, int]]]],
                         trial_offset: int, keep_faults: bool,
-                        incremental: bool) -> CampaignResult:
+                        incremental: bool, batch_trials: int = 1,
+                        equivalence: Optional[str] = None,
+                        max_ulps: float = DEFAULT_MAX_ULPS) -> CampaignResult:
     """Worker entry point: rebuild the campaign and run one shard of trials.
 
     Module-level (not a closure) so it pickles under every multiprocessing
     start method.  ``trial_offset`` anchors the shard's per-trial RNG
-    streams at the trials' global indices.
+    streams at the trials' global indices; ``equivalence`` travels as the
+    mode's string value to keep the payload plain.
     """
     campaign = spec.build()
     plans = [(input_index, InjectionPlan.from_payload(sites))
              for input_index, sites in payload]
     return campaign.run(plans=plans, keep_faults=keep_faults,
-                        incremental=incremental, trial_offset=trial_offset)
+                        incremental=incremental, trial_offset=trial_offset,
+                        batch_trials=batch_trials, equivalence=equivalence,
+                        max_ulps=max_ulps)
 
 
 def compare_protection(unprotected: Model, protected: Model,
@@ -448,6 +702,8 @@ def compare_protection(unprotected: Model, protected: Model,
                        trials: int = 100, seed: int = 0,
                        incremental: bool = True,
                        workers: int = 1,
+                       batch_trials: int = 1,
+                       equivalence=None,
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
@@ -466,5 +722,7 @@ def compare_protection(unprotected: Model, protected: Model,
                                      criteria=criteria,
                                      dtype_policy=dtype_policy, seed=seed)
     plans = base.generate_plans(trials)
-    return (base.run(plans=plans, incremental=incremental, workers=workers),
-            guarded.run(plans=plans, incremental=incremental, workers=workers))
+    return (base.run(plans=plans, incremental=incremental, workers=workers,
+                     batch_trials=batch_trials, equivalence=equivalence),
+            guarded.run(plans=plans, incremental=incremental, workers=workers,
+                        batch_trials=batch_trials, equivalence=equivalence))

@@ -23,7 +23,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..graph import ExecutionResult, Executor, Graph, Node
+from ..graph import (BatchedExecutionResult, ExecutionResult, Executor,
+                     Graph, Node)
+from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
 from ..models.base import Model
 from .fault_models import FaultModel, FaultSpec
 
@@ -294,6 +296,22 @@ class FaultInjector:
             executor.remove_output_hook(hook)
         return result, applied
 
+    def plan_sites_overlap(self, plan: InjectionPlan,
+                           graph: Optional[Graph] = None) -> bool:
+        """True when one of the plan's sites lies in another site's cone.
+
+        Such plans must be replayed hook-based (the downstream site's
+        corruption lands on the *faulty* value flowing through it), so they
+        are ineligible for the stacked-golden-corruption fast paths
+        (:meth:`inject_cached`'s dirty-value branch and
+        :meth:`inject_cached_batch`).
+        """
+        graph = graph if graph is not None else self.model.graph
+        names = sorted(plan.node_names())
+        return len(names) > 1 and any(
+            other in graph.downstream(name)
+            for name in names for other in names if other != name)
+
     def inject_cached(self, executor: Executor,
                       cached_values: Mapping[str, np.ndarray],
                       plan: Optional[InjectionPlan] = None,
@@ -326,10 +344,7 @@ class FaultInjector:
         # of its golden cached value.  Replay such plans hook-based: every
         # site is a re-evaluation seed and the corruption hook fires in
         # topological order, just like the full path.
-        overlapping = len(names) > 1 and any(
-            other in executor.graph.downstream(name)
-            for name in names for other in names if other != name)
-        if overlapping:
+        if self.plan_sites_overlap(plan, executor.graph):
             hook, applied = self._corruption_hook(plan, rng=rng)
             executor.add_output_hook(hook)
             try:
@@ -359,3 +374,90 @@ class FaultInjector:
         result = executor.run_from(cached_values, dirty_values=dirty_values,
                                    outputs=[self.model.output_name])
         return result.output(self.model.output_name), applied, result
+
+    def inject_cached_batch(self, executor: Executor,
+                            cached_values: Mapping[str, np.ndarray],
+                            plans: Sequence[InjectionPlan],
+                            rngs: Sequence[np.random.Generator],
+                            equivalence=None,
+                            max_ulps: float = DEFAULT_MAX_ULPS,
+                            validate_overlap: bool = True,
+                            ) -> Tuple[np.ndarray, List[List[FaultSpec]],
+                                       BatchedExecutionResult]:
+        """Replay B faulty trials sharing one input in a single batched pass.
+
+        ``plans[i]`` is corrupted with ``rngs[i]`` — each trial keeps its own
+        generator, so trial identity (which bits flip where) is exactly what
+        :meth:`inject_cached` would produce for the same ``(plan, rng)``
+        pair, and campaign-level determinism (``workers=N`` sharding,
+        paired comparisons) is unaffected by batching.  Corruption is
+        applied to the *golden cached* activations (every site is corrupted
+        on top of its batch-1 golden value, per trial, in topological site
+        order), stacked along the batch dimension, and propagated through
+        the fault cone by :meth:`Executor.run_from_batched`.
+
+        The applied-fault records are therefore bit-identical to the
+        incremental path's; only the downstream propagation may differ from
+        batch-1 replay in the last ULPs (see the executor's equivalence
+        contract), which is why the returned outputs carry the
+        ``ULP_TOLERANT`` guarantee rather than bit-exactness.
+
+        Plans whose sites overlap (one site inside another site's cone)
+        must be replayed hook-based and are rejected with
+        :class:`InjectionError`; the campaign scheduler screens them out
+        and falls back to :meth:`inject_cached` per trial (and passes
+        ``validate_overlap=False`` so already-screened plans skip the
+        duplicate check).
+
+        Returns ``(stacked_outputs, per_trial_faults, batched_result)``
+        where ``stacked_outputs[i]`` is trial ``i``'s faulty output row.
+        """
+        if len(plans) != len(rngs):
+            raise InjectionError(
+                f"got {len(plans)} plans but {len(rngs)} rngs; each trial "
+                f"needs its own generator")
+        if not plans:
+            raise InjectionError("inject_cached_batch() requires >= 1 plan")
+        topo_index = executor.graph.topo_index()
+        union_nodes = {name for plan in plans for name in plan.node_names()}
+        missing = [name for name in union_nodes if name not in topo_index]
+        if missing:
+            raise InjectionError(
+                f"plan sites not present in executor graph: {sorted(missing)}")
+        if validate_overlap:
+            for plan in plans:
+                if self.plan_sites_overlap(plan, executor.graph):
+                    raise InjectionError(
+                        f"plan with overlapping sites {plan.sites} cannot "
+                        f"be replayed batched; use inject_cached() for it")
+
+        batch = len(plans)
+        stacked: Dict[str, np.ndarray] = {}
+        for name in union_nodes:
+            try:
+                cached = cached_values[name]
+            except KeyError:
+                raise InjectionError(
+                    f"no cached activation for fault site '{name}'; pass the "
+                    f"values of a fault-free run of the same input") from None
+            stacked[name] = np.repeat(np.asarray(cached), batch, axis=0)
+
+        per_trial_faults: List[List[FaultSpec]] = []
+        for row, (plan, rng) in enumerate(zip(plans, rngs)):
+            pending = self._group_sites(plan)
+            applied: List[FaultSpec] = []
+            # Topological site order, exactly like the batch-1 replay, so
+            # each trial consumes its generator identically either way.
+            for name in sorted(pending, key=topo_index.__getitem__):
+                corrupted = self._corrupt_array(name, cached_values[name],
+                                                pending[name], applied,
+                                                rng=rng)
+                stacked[name][row] = corrupted[0]
+            per_trial_faults.append(applied)
+
+        result = executor.run_from_batched(
+            cached_values, stacked_dirty_values=stacked,
+            outputs=[self.model.output_name], equivalence=equivalence,
+            max_ulps=max_ulps)
+        return (result.output(self.model.output_name), per_trial_faults,
+                result)

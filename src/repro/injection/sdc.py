@@ -26,12 +26,34 @@ STEERING_THRESHOLDS = (15.0, 30.0, 60.0, 120.0)
 
 
 class SDCCriterion:
-    """Decides whether a faulty output constitutes an SDC."""
+    """Decides whether a faulty output constitutes an SDC.
+
+    Criteria are **equivalence-mode robust by construction**: every verdict
+    is an argmax or threshold comparison, which the batched replay engine's
+    ULP-level deviations cannot realistically flip — that is what lets
+    `ULP_TOLERANT` campaigns assert SDC-*verdict* agreement with the
+    bit-exact incremental path rather than bit identity
+    (see :class:`repro.graph.EquivalenceMode`).
+    """
 
     name = "sdc"
 
     def is_sdc(self, golden: np.ndarray, faulty: np.ndarray) -> bool:
         raise NotImplementedError
+
+    def is_sdc_rows(self, golden: np.ndarray,
+                    faulty_rows: np.ndarray) -> np.ndarray:
+        """Vectorized verdicts for B stacked faulty outputs.
+
+        ``faulty_rows`` has shape ``(B, ...)`` where each row is one trial's
+        output; ``golden`` is the shared batch-1 golden output.  The default
+        implementation loops over :meth:`is_sdc`; subclasses override it
+        with a vectorized equivalent so batched campaigns classify a whole
+        stack in one pass.
+        """
+        faulty_rows = np.asarray(faulty_rows)
+        return np.array([self.is_sdc(golden, faulty_rows[i:i + 1])
+                         for i in range(faulty_rows.shape[0])], dtype=bool)
 
 
 @dataclass
@@ -57,8 +79,28 @@ class TopKMisclassification(SDCCriterion):
         golden_label = int(np.argmax(golden))
         if self.k == 1:
             return int(np.argmax(faulty)) != golden_label
-        top_k = np.argsort(faulty)[::-1][:self.k]
+        # kind="stable" pins the tie order (equal scores rank by index,
+        # which the reversal turns into higher-index-first); the default
+        # introsort is only incidentally stable below ~16 elements, and the
+        # vectorized is_sdc_rows must agree with this path on tied outputs
+        # — routine under fixed-point quantization — for any class count.
+        top_k = np.argsort(faulty, kind="stable")[::-1][:self.k]
         return golden_label not in top_k
+
+    def is_sdc_rows(self, golden: np.ndarray,
+                    faulty_rows: np.ndarray) -> np.ndarray:
+        golden_label = int(np.argmax(np.asarray(golden).reshape(-1)))
+        rows = np.asarray(faulty_rows).reshape(len(faulty_rows), -1)
+        if self.k == 1:
+            return np.argmax(rows, axis=1) != golden_label
+        # Rank of the golden label within each faulty row: SDC when at
+        # least k entries rank ahead of it.  Ties resolve exactly like the
+        # scalar path's reversed stable argsort, where an equal value at a
+        # *higher* index ranks first.
+        golden_scores = rows[:, golden_label][:, None]
+        beats = (rows > golden_scores).sum(axis=1)
+        tied_after = ((rows == golden_scores)[:, golden_label + 1:]).sum(axis=1)
+        return (beats + tied_after) >= self.k
 
 
 @dataclass
@@ -90,6 +132,16 @@ class SteeringDeviation(SDCCriterion):
         if not np.isfinite(deviation):
             return True
         return deviation > self.threshold_degrees
+
+    def is_sdc_rows(self, golden: np.ndarray,
+                    faulty_rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(faulty_rows)
+        golden_deg = degrees_from_output(np.asarray(golden).reshape(1, -1),
+                                         self.angle_unit)
+        faulty_deg = degrees_from_output(rows.reshape(rows.shape[0], -1),
+                                         self.angle_unit)
+        deviation = np.abs(faulty_deg - golden_deg).max(axis=1)
+        return ~np.isfinite(deviation) | (deviation > self.threshold_degrees)
 
 
 def criteria_for_model(model, thresholds: Sequence[float] = STEERING_THRESHOLDS,

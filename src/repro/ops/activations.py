@@ -11,6 +11,10 @@ metadata used by ``repro.core``:
   need profiling (paper, Section III-C, Step 1).
 * ``category`` — always ``"activation"`` so the transformation pass can find
   them without relying on names.
+
+Batch-transparency audit: every activation is elementwise and ``Softmax``
+normalizes over the last (class) axis only, so all operators here are
+batch-transparent and safe for batched trial replay.
 """
 
 from __future__ import annotations

@@ -48,6 +48,25 @@ class Operator:
     #: of computational operators only).
     injectable: bool = True
 
+    #: **Batch-transparency contract** (audited for the batched replay
+    #: engine).  An operator is batch-transparent when, at inference, row
+    #: ``i`` of its output depends only on row ``i`` of each batch-carrying
+    #: input (plus the batch-invariant parameter inputs) — i.e. stacking B
+    #: independent batch-1 inputs yields the B stacked batch-1 outputs, up
+    #: to BLAS reassociation noise.  Every inference-mode operator in this
+    #: codebase satisfies the contract; the two training-mode exceptions
+    #: (``BatchNorm`` with batch statistics, ``Dropout`` with an active
+    #: mask) override this as a property so the batched executor can refuse
+    #: them with a clear error instead of silently coupling trials.
+    batch_transparent: bool = True
+
+    #: Axis of the batch dimension in the operator's *output*, or ``None``
+    #: for batch-invariant outputs (weights, constants, restriction bounds)
+    #: that are implicitly shared by every row of a batched evaluation.
+    #: The batched executor uses this to decide which cached inputs must be
+    #: broadcast to the stacked batch and which are passed through as-is.
+    batch_axis: Optional[int] = 0
+
     def forward(self, *inputs: Array) -> Array:
         raise NotImplementedError
 
@@ -101,6 +120,9 @@ class Constant(Operator):
 
     category = "variable"
     injectable = False
+    #: Constants (restriction bounds, shape parameters) have no batch axis:
+    #: the same value is shared by every row of a batched evaluation.
+    batch_axis = None
 
     def __init__(self, value: Array) -> None:
         self.value = np.asarray(value)
@@ -128,6 +150,10 @@ class Variable(Operator):
 
     category = "variable"
     injectable = False
+
+    #: Weights and biases have no batch axis; they are shared by every row
+    #: of a batched evaluation exactly as in a batch-1 run.
+    batch_axis = None
 
     def __init__(self, value: Array, trainable: bool = True,
                  name: str = "") -> None:

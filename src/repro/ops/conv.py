@@ -5,6 +5,12 @@ channels), which matches the TensorFlow models the paper instrumented.  The
 implementation lowers convolution to a single matrix multiplication over an
 im2col patch matrix; the backward pass reuses the same patch matrix, giving a
 compact and numerically verifiable gradient.
+
+Batch-transparency audit: convolution treats every batch row independently
+(patches never cross rows), so it is safe for batched trial replay; note
+that the im2col matmul is exactly the kind of BLAS call whose blocking —
+and therefore last-ULP rounding — depends on the batch shape, which is why
+batched replay carries the ULP_TOLERANT equivalence mode.
 """
 
 from __future__ import annotations

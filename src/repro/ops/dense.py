@@ -1,4 +1,12 @@
-"""Dense (fully-connected) and bias operators."""
+"""Dense (fully-connected) and bias operators.
+
+Batch-transparency audit: all operators here are row-independent at
+inference (``MatMul`` rows, elementwise ``Add``/``Multiply``/``Scale``, the
+Ranger range checks) and thus safe for batched trial replay.  The
+elementwise binaries additionally broadcast a batch-1 operand against a
+B-row one, which is how the batched executor mixes cached golden values
+with stacked dirty frontiers without materializing B copies.
+"""
 
 from __future__ import annotations
 

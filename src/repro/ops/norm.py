@@ -21,6 +21,19 @@ class BatchNorm(Operator):
 
     category = "normalization"
 
+    @property
+    def batch_transparent(self) -> bool:
+        """Batch-transparent at inference only.
+
+        Inference-mode BN normalizes every row with the stored *moving*
+        statistics — rows are independent and the operator can be replayed
+        batched.  Training-mode BN computes statistics across the batch
+        axis, coupling every row to every other; stacking independent
+        trials through it would silently change their semantics, so the
+        batched executor must refuse it.
+        """
+        return not self.training
+
     def __init__(self, momentum: float = 0.9, epsilon: float = 1e-5) -> None:
         self.momentum = float(momentum)
         self.epsilon = float(epsilon)
@@ -81,7 +94,11 @@ class BatchNorm(Operator):
 
 
 class LocalResponseNorm(Operator):
-    """Local response normalization across channels (AlexNet-style)."""
+    """Local response normalization across channels (AlexNet-style).
+
+    Batch-transparent: the normalization window slides over the channel
+    axis only, so rows stay independent and batched replay is safe.
+    """
 
     category = "normalization"
 

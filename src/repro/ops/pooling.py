@@ -3,6 +3,11 @@
 Pooling operators carry the category ``"pooling"`` so that Ranger's
 Algorithm 1 can extend the restriction bound of a preceding activation onto
 them (paper, Section III-C, step 2).
+
+Batch-transparency audit: pooling windows are strictly spatial (the strided
+views never cross the batch axis) and ``GlobalAvgPool`` reduces only the
+spatial axes, so every operator here is batch-transparent and safe for
+batched trial replay.
 """
 
 from __future__ import annotations

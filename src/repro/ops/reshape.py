@@ -16,7 +16,13 @@ from .base import Array, Operator, OperatorError
 
 
 class Reshape(Operator):
-    """Reshape to a fixed target shape (excluding the batch dimension)."""
+    """Reshape to a fixed target shape (excluding the batch dimension).
+
+    Batch-transparent by construction: the hardcoded ``target_shape``
+    deliberately excludes the batch axis (``forward`` re-prepends
+    ``x.shape[0]``), so the same node handles batch-1 golden runs and
+    B-row batched replays without baking a batch size into the graph.
+    """
 
     category = "reshape"
 
@@ -63,6 +69,13 @@ class Concatenate(Operator):
     """
 
     category = "concat"
+
+    @property
+    def batch_transparent(self) -> bool:
+        """Transparent for any feature axis; axis 0 concatenates the batch
+        dimension itself, which merges rows across trials and cannot be
+        replayed batched."""
+        return self.axis != 0
 
     def __init__(self, axis: int = -1) -> None:
         self.axis = int(axis)
@@ -119,6 +132,17 @@ class Dropout(Operator):
     applies a random mask during training.  The executor flips
     :attr:`training` through the trainer.
     """
+
+    @property
+    def batch_transparent(self) -> bool:
+        """Batch-transparent at inference (identity) only.
+
+        A training-mode dropout mask is drawn from one shared RNG stream
+        over the whole array, so the mask a row receives depends on the
+        batch shape and on the rows evaluated before it — stacked trials
+        would not reproduce their batch-1 draws.
+        """
+        return not self.training or self.rate == 0.0
 
     def __init__(self, rate: float = 0.5, seed: Optional[int] = None) -> None:
         if not 0.0 <= rate < 1.0:

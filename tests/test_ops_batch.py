@@ -1,0 +1,172 @@
+"""Batch-transparency audit for the operator library.
+
+The batched replay engine stacks B independent trials along the batch axis,
+which is only sound for operators that treat batch rows independently at
+inference.  This suite audits the contract two ways:
+
+* behaviourally — for every operator used by the model zoo, evaluating a
+  stacked batch must equal stacking the per-row evaluations (exactly: these
+  kernels are elementwise/strided, so no BLAS reassociation is involved at
+  the op level except for the matmul-backed ones, which are checked to the
+  ULP tolerance the engine assumes);
+* declaratively — ``batch_transparent`` must be False exactly for the
+  batch-coupled configurations (training-mode BatchNorm/Dropout, axis-0
+  concat), and the batched executor must refuse to replay through them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.graph import Executor, Graph, GraphError, ulp_distance
+
+
+RNG = np.random.default_rng(7)
+
+
+def stacked_equals_rowwise(op, *inputs, batch_inputs=(0,), max_ulps=4):
+    """Evaluate ``op`` batched and row-by-row; compare within ``max_ulps``."""
+    batched_out = op.forward(*inputs)
+    batch = inputs[batch_inputs[0]].shape[0]
+    for row in range(batch):
+        row_args = [arg[row:row + 1] if position in batch_inputs else arg
+                    for position, arg in enumerate(inputs)]
+        row_out = op.forward(*row_args)
+        dist = ulp_distance(batched_out[row:row + 1], row_out)
+        assert dist.max() <= max_ulps, (
+            f"{type(op).__name__} row {row} deviates by {dist.max()} ulps")
+
+
+NHWC = RNG.standard_normal((5, 6, 6, 3))
+FLAT = RNG.standard_normal((5, 12))
+
+
+@pytest.mark.parametrize("op,inputs,batch_inputs", [
+    (ops.ReLU(), (NHWC,), (0,)),
+    (ops.LeakyReLU(0.1), (NHWC,), (0,)),
+    (ops.ELU(), (NHWC,), (0,)),
+    (ops.Tanh(), (FLAT,), (0,)),
+    (ops.Sigmoid(), (FLAT,), (0,)),
+    (ops.Atan(), (FLAT,), (0,)),
+    (ops.ScaledAtan(2.0), (FLAT,), (0,)),
+    (ops.Softmax(), (FLAT,), (0,)),
+    (ops.Scale(1.7), (FLAT,), (0,)),
+    (ops.BiasAdd(), (FLAT, RNG.standard_normal(12)), (0,)),
+    (ops.Add(), (NHWC, RNG.standard_normal(NHWC.shape)), (0, 1)),
+    (ops.Multiply(), (NHWC, RNG.standard_normal(NHWC.shape)), (0, 1)),
+    (ops.Minimum(), (FLAT, np.full(12, 0.5)), (0,)),
+    (ops.Maximum(), (FLAT, np.full(12, -0.5)), (0,)),
+    (ops.ClipByValue(-1.0, 1.0), (FLAT,), (0,)),
+    (ops.Reshape((3, 4)), (FLAT,), (0,)),
+    (ops.Flatten(), (NHWC,), (0,)),
+    (ops.Pad2D((1, 1), (1, 1)), (NHWC,), (0,)),
+    (ops.Dropout(0.5), (NHWC,), (0,)),  # inference mode: identity
+    (ops.MaxPool2D(2), (NHWC,), (0,)),
+    (ops.AvgPool2D(2), (NHWC,), (0,)),
+    (ops.GlobalAvgPool(), (NHWC,), (0,)),
+    (ops.LocalResponseNorm(), (NHWC,), (0,)),
+    (ops.Concatenate(axis=-1), (NHWC, NHWC + 1.0), (0, 1)),
+], ids=lambda value: type(value).__name__ if isinstance(value, ops.Operator)
+   else None)
+def test_stacked_rows_equal_rowwise_runs(op, inputs, batch_inputs):
+    stacked_equals_rowwise(op, *inputs, batch_inputs=batch_inputs)
+    assert op.batch_transparent
+
+
+@pytest.mark.parametrize("op,inputs", [
+    (ops.Conv2D(stride=1, padding="same"),
+     (NHWC, RNG.standard_normal((3, 3, 3, 4)))),
+    (ops.MatMul(), (FLAT, RNG.standard_normal((12, 7)))),
+], ids=["Conv2D", "MatMul"])
+def test_blas_backed_ops_are_rowwise_up_to_reassociation(op, inputs):
+    """The matmul-backed ops: row-independent up to BLAS blocking noise.
+
+    ULP distance is a *relative* measure, so reassociation noise on an
+    output that nearly cancels to zero can read as tens-to-hundreds of
+    ULPs while the absolute error stays ~1e-16 of the operand scale —
+    measured here at up to ~100 ULPs.  This is exactly why the batched
+    engine's default row-masking tolerance is deliberately small (rows
+    beyond it merely stay dirty; correctness never depends on masking)
+    and why batched campaigns carry ULP_TOLERANT instead of EXACT.
+    """
+    stacked_equals_rowwise(op, *inputs, batch_inputs=(0,), max_ulps=4096)
+    assert op.batch_transparent
+    batched = op.forward(*inputs)
+    rows = np.concatenate([op.forward(inputs[0][i:i + 1], *inputs[1:])
+                           for i in range(inputs[0].shape[0])])
+    np.testing.assert_allclose(batched, rows, rtol=1e-12, atol=1e-13)
+
+
+def test_inference_batchnorm_is_transparent():
+    bn = ops.BatchNorm()
+    gamma, beta = np.ones(3), np.zeros(3)
+    bn.forward(NHWC, gamma, beta)  # initializes moving statistics
+    assert bn.batch_transparent
+    stacked_equals_rowwise(bn, NHWC, gamma, beta, batch_inputs=(0,))
+
+
+def test_training_batchnorm_is_coupled():
+    bn = ops.BatchNorm()
+    bn.training = True
+    assert not bn.batch_transparent
+
+
+def test_training_dropout_is_coupled():
+    dropout = ops.Dropout(0.5)
+    dropout.training = True
+    assert not dropout.batch_transparent
+    dropout.rate = 0.0
+    assert dropout.batch_transparent  # rate-0 dropout is identity either way
+
+
+def test_axis0_concat_is_coupled():
+    assert not ops.Concatenate(axis=0).batch_transparent
+    assert ops.Concatenate(axis=-1).batch_transparent
+    assert ops.Concatenate(axis=3).batch_transparent
+
+
+def test_variables_and_constants_are_batch_invariant():
+    assert ops.Variable(np.zeros((3, 3))).batch_axis is None
+    assert ops.Constant(np.zeros(3)).batch_axis is None
+    assert ops.Placeholder().batch_axis == 0
+    assert ops.ReLU().batch_axis == 0
+
+
+class TestExecutorRefusesCoupledOps:
+    def _graph(self):
+        g = Graph("bn")
+        g.add("x", ops.Placeholder(name="x", shape=(3,)))
+        g.add("gamma", ops.Variable(np.ones(3), name="gamma"))
+        g.add("beta", ops.Variable(np.zeros(3), name="beta"))
+        g.add("bn", ops.BatchNorm(), inputs=["x", "gamma", "beta"])
+        g.add("out", ops.Identity(), inputs=["bn"])
+        g.mark_output("out")
+        return g
+
+    def test_training_bn_in_cone_raises(self):
+        graph = self._graph()
+        executor = Executor(graph)
+        cache = executor.run({"x": np.zeros((1, 3))}).values
+        graph.node("bn").op.training = True
+        stacked = {"x": np.arange(9.0).reshape(3, 3)}
+        with pytest.raises(GraphError, match="batch-coupled"):
+            executor.run_from_batched(cache, stacked_dirty_values=stacked)
+
+    def test_inference_bn_in_cone_is_accepted(self):
+        graph = self._graph()
+        executor = Executor(graph)
+        cache = executor.run({"x": np.zeros((1, 3))}).values
+        stacked = {"x": np.arange(9.0).reshape(3, 3)}
+        result = executor.run_from_batched(cache,
+                                           stacked_dirty_values=stacked)
+        expected = executor.run({"x": stacked["x"]})
+        assert np.allclose(result.output("out"), expected.output("out"))
+
+    def test_batch_invariant_reeval_seed_rejected(self):
+        graph = self._graph()
+        executor = Executor(graph)
+        cache = executor.run({"x": np.zeros((1, 3))}).values
+        stacked = {"x": np.arange(9.0).reshape(3, 3)}
+        with pytest.raises(GraphError, match="batch-invariant"):
+            executor.run_from_batched(cache, dirty="gamma",
+                                      stacked_dirty_values=stacked)
