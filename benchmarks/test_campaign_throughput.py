@@ -4,9 +4,11 @@ Measures trials/sec of the incremental execution engine (golden activation
 cache + partial re-execution of the fault cone) against the legacy
 full-re-execution flag, for paired (unprotected + Ranger) campaigns on the
 deep models, under the paper's 32-bit and 16-bit fixed-point configurations —
-plus the batched multi-trial replay (`run(batch_trials=B)`, ULP_TOLERANT)
-against the incremental reference on a longer plan list, and the
-multiprocess fan-out's scaling over worker counts.
+plus the union-cone batched replay (`run(batch_trials=B)`, ULP_TOLERANT,
+cross-site packing with occupancy/overhead accounting) against the
+incremental reference on a longer plan list, the persistent `CampaignPool`
+against fresh per-campaign worker pools, and the multiprocess fan-out's
+scaling over worker counts.
 
 The regression guards pin the speedups that the engine's design delivers:
 feed-forward deep models mask faults aggressively (ReLU / pooling / Ranger
@@ -55,6 +57,8 @@ def test_campaign_throughput(benchmark):
     result = run_and_report(benchmark, run_campaign_throughput,
                             THROUGHPUT_SCALE)
     for model_name, by_dtype in result.data.items():
+        if model_name == "pool":
+            continue  # the pool section's flat stats (guarded below)
         for dtype_name, entry in by_dtype.items():
             for variant in ("unprotected", "protected"):
                 if variant not in entry:
@@ -77,28 +81,61 @@ def test_campaign_throughput(benchmark):
     resnet = result.data["resnet18"]
     guard_minimum(result, "resnet18/fixed32 paired speedup",
                   resnet["fixed32"]["paired_speedup"], 1.5)
-    # Batched multi-trial replay: never slower than incremental on any
-    # measured configuration, and the headline ULP_TOLERANT win — >=1.5x
-    # trials/sec over the bit-exact incremental path — holds on at least
-    # one zoo model.  VGG-11's full-width feed-forward convolutions batch
-    # best (measured ~2-3x); the width-0.5 squeezenet preset sits around
-    # ~1.3-1.5x and ResNet's skip connections keep whole cones alive,
-    # capping its gain near ~1.2-1.3x.
-    batched_speedups = {
-        f"{model_name}/{dtype_name}":
-            entry["batched"]["speedup"]
+    # Union-cone batched replay: never slower than incremental on any
+    # measured configuration; VGG-11's full-width feed-forward convolutions
+    # batch best (measured ~2.8-3.1x); the cross-site packer lifts the
+    # formerly site-bound models (squeezenet ~1.5-1.7x, resnet18 ~1.4-1.6x
+    # from 1.27x/1.25x before union packing).  Guards sit below the
+    # single-CPU container's timing-noise floor of the measured ranges.
+    batched = {
+        (model_name, dtype_name): entry["batched"]
         for model_name, by_dtype in result.data.items()
+        if model_name != "pool"
         for dtype_name, entry in by_dtype.items()
         if "batched" in entry
     }
-    for label, speedup in batched_speedups.items():
-        guard_minimum(result, f"{label} batched-vs-incremental speedup",
-                      speedup, 1.0)
+    for (model_name, dtype_name), stats in batched.items():
+        guard_minimum(result,
+                      f"{model_name}/{dtype_name} batched-vs-incremental "
+                      f"speedup", stats["speedup"], 1.0)
     guard_minimum(result, "best batched-vs-incremental speedup",
-                  max(batched_speedups.values()), 1.5)
+                  max(stats["speedup"] for stats in batched.values()), 1.5)
     guard_minimum(result, "vgg11 batched-vs-incremental speedup (best dtype)",
-                  max(result.data["vgg11"][dtype]["batched"]["speedup"]
-                      for dtype in result.data["vgg11"]), 1.5)
+                  max(stats["speedup"]
+                      for (model, _), stats in batched.items()
+                      if model == "vgg11"), 2.2)
+    guard_minimum(result,
+                  "squeezenet batched-vs-incremental speedup (best dtype)",
+                  max(stats["speedup"]
+                      for (model, _), stats in batched.items()
+                      if model == "squeezenet"), 1.35)
+    guard_minimum(result,
+                  "resnet18 batched-vs-incremental speedup (best dtype)",
+                  max(stats["speedup"]
+                      for (model, _), stats in batched.items()
+                      if model == "resnet18"), 1.25)
+    # Occupancy: the union-cone packer must fill batches well past the
+    # identical-site ceiling (~10 rows at this trial count).  Packing is
+    # deterministic, so these guards carry no timing noise.
+    for model_name in ("squeezenet", "resnet18"):
+        for dtype_name in result.data[model_name]:
+            stats = batched[(model_name, dtype_name)]
+            guard_minimum(result,
+                          f"{model_name}/{dtype_name} mean batch occupancy "
+                          f"(B=32)", stats["mean_occupancy"], 24.0)
+            guard_minimum(result,
+                          f"{model_name}/{dtype_name} batched trial "
+                          f"fraction", stats["batched_fraction"], 0.95)
+    # Packing stays a rounding error of campaign wall time (<= 2% overall).
+    total_pack = sum(stats["pack_seconds"] for stats in batched.values())
+    total_batched = sum(stats["batched_seconds"] for stats in batched.values())
+    guard_minimum(result, "packing-cost budget headroom (2% of wall time)",
+                  0.02 * total_batched / total_pack, 1.0)
+    # Persistent pool: back-to-back same-config campaigns must beat fresh
+    # per-campaign pools (spawn + worker rebuild amortized away), and the
+    # experiment asserts bit-identical counts on every run.
+    guard_minimum(result, "CampaignPool reuse speedup over fresh fan-out",
+                  result.data["pool"]["speedup"], 1.05)
 
 
 #: Dedicated scale for the fan-out scaling sweep: one deep model, enough

@@ -10,6 +10,7 @@ configuration, or a paper-scale overnight campaign.
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -17,6 +18,7 @@ import numpy as np
 
 from ..core import Ranger
 from ..injection import (
+    CampaignPool,
     FaultInjectionCampaign,
     FaultModel,
     SingleBitFlip,
@@ -118,6 +120,33 @@ def protect_with_ranger(prepared: PreparedModel, scale: ExperimentScale,
     return ranger.protect(prepared.model, profile_inputs=sample)
 
 
+#: Process-wide persistent campaign pools, one per worker count, shared by
+#: every experiment in the process (see :func:`campaign_pool`).
+_CAMPAIGN_POOLS: Dict[int, CampaignPool] = {}
+
+
+def campaign_pool(scale: ExperimentScale) -> Optional[CampaignPool]:
+    """The shared persistent worker pool for ``scale.workers``, or None.
+
+    Experiment sweeps run campaigns back-to-back (every paired SDC figure
+    is a grid of model × datatype × protection campaigns), so when the
+    scale asks for worker processes the runner keeps one
+    :class:`~repro.injection.pool.CampaignPool` alive per worker count
+    instead of spawning (and warming) a fresh process pool per campaign.
+    Returns ``None`` for ``workers <= 1`` — campaigns then run in-process
+    exactly as before.  Pools are created lazily and shut down at
+    interpreter exit; results are bit-identical with and without the pool.
+    """
+    if scale.workers <= 1:
+        return None
+    pool = _CAMPAIGN_POOLS.get(scale.workers)
+    if pool is None or pool.closed:
+        pool = CampaignPool(workers=scale.workers)
+        _CAMPAIGN_POOLS[scale.workers] = pool
+        atexit.register(pool.close)
+    return pool
+
+
 def paired_sdc_rates(prepared: PreparedModel, protected, scale: ExperimentScale,
                      fault_model: Optional[FaultModel] = None,
                      dtype_policy=None, criteria=None
@@ -131,7 +160,8 @@ def paired_sdc_rates(prepared: PreparedModel, protected, scale: ExperimentScale,
         fault_model=fault_model or SingleBitFlip(FIXED32),
         criteria=criteria,
         dtype_policy=dtype_policy if dtype_policy is not None else fixed32_policy(),
-        trials=scale.trials, seed=scale.seed, workers=scale.workers)
+        trials=scale.trials, seed=scale.seed, workers=scale.workers,
+        pool=campaign_pool(scale))
     original = {c: base.sdc_rate_percent(c) for c in base.criteria}
     with_ranger = {c: guarded.sdc_rate_percent(c) for c in guarded.criteria}
     return original, with_ranger

@@ -3,6 +3,14 @@
 ``run_all_experiments`` is the entry point used by ``examples/full_evaluation.py``
 and by the EXPERIMENTS.md generation; each experiment can also be run on its
 own through the functions re-exported from :mod:`repro.experiments`.
+
+When the scale requests worker processes (``ExperimentScale.workers > 1``),
+the campaign-driven experiments share one persistent
+:class:`~repro.injection.pool.CampaignPool` per worker count (see
+:func:`repro.experiments.common.campaign_pool`), so a sweep's back-to-back
+campaigns stop paying the per-campaign pool spawn and worker-side
+model/golden-cache rebuild.  Results are bit-identical with and without
+the pool.
 """
 
 from __future__ import annotations

@@ -16,17 +16,29 @@ each has its own experiment here:
   carry every surviving fault to the output (~2x).
 
 * **Batched multi-trial replay** (the ``batched`` section of
-  ``run_campaign_throughput``) — trials that share an (input, fault-node
-  set) are stacked along the batch dimension and replayed in one executor
-  call (``run(batch_trials=B)``), so every re-evaluated node in the fault
-  cone costs one BLAS call instead of B.  Batched results carry the
-  ``ULP_TOLERANT`` equivalence mode (BLAS kernels are not bit-stable across
-  batch shapes); the experiment asserts per-criterion SDC-count agreement
-  with the bit-exact incremental reference on every run, so verdict-set
-  equivalence is re-checked wherever the benchmark executes.  The win grows
-  with batch occupancy (trials per (input, site) pair), i.e. with campaign
-  size — the configuration here uses a longer plan list than the
-  full-vs-incremental section for exactly that reason.
+  ``run_campaign_throughput``) — trials that share an *input* are stacked
+  along the batch dimension and replayed in one executor call
+  (``run(batch_trials=B)``), so every re-evaluated node costs one BLAS
+  call over its dirty rows instead of one call per trial.  Since the
+  union-cone packer (``pack_batches``), trials no longer need to share a
+  fault site: each row enters the replay at its own site and batches fill
+  to (near) the full width B, which is why the table reports the *batch
+  occupancy* (mean rows per batched call), the fraction of trials batched,
+  the union-cone overhead (extra cone nodes the union walks beyond the
+  largest member) and the packing cost as a fraction of campaign wall
+  time.  Batched results carry the ``ULP_TOLERANT`` equivalence mode (BLAS
+  kernels are not bit-stable across batch shapes); the experiment asserts
+  per-criterion SDC-count agreement with the bit-exact incremental
+  reference on every run, so verdict-set equivalence is re-checked
+  wherever the benchmark executes.
+
+* **Persistent campaign pool** (the ``pool`` section) — experiment sweeps
+  run campaigns back-to-back, and a fresh ``run(workers=N)`` pays the
+  process-pool spawn plus per-worker campaign rebuild every time.
+  ``CampaignPool`` keeps workers (and their models + golden caches) alive
+  across campaigns; the experiment times repeated same-config campaigns
+  under both backends and asserts the pooled counts stay bit-identical to
+  the fresh ones.
 
 * **Multiprocess fan-out** (``run_parallel_scaling``) — once the
   ``(input, plan)`` pairs are pre-sampled, trials are embarrassingly
@@ -49,7 +61,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..analysis import render_table
-from ..injection import FaultInjectionCampaign, SingleBitFlip
+from ..injection import CampaignPool, FaultInjectionCampaign, SingleBitFlip
 from ..quantization import FIXED16, FIXED32, fixed16_policy, fixed32_policy
 from .common import (
     ExperimentResult,
@@ -116,6 +128,12 @@ def _measure_pair(model, inputs: np.ndarray, fmt, policy, trials: int,
 #: Batch width of the batched-replay throughput section.
 BATCH_WIDTH = 32
 
+#: Timing repeats per path in the batched section; the fastest repeat is
+#: reported (deterministic replay engines — repeats only shed machine
+#: noise, which otherwise dominates the single-CPU container's ratios:
+#: identical configs measured ±10-15% wall clock run to run).
+BATCHED_TIMING_REPEATS = 3
+
 #: Models of the batched-replay section: the deep models plus VGG-11,
 #: whose full-width convolutions give the BLAS the most to amortize per
 #: stacked batch (measured ~2-3x; the width-0.5 SqueezeNet preset and
@@ -149,17 +167,40 @@ def _measure_batched(model, inputs: np.ndarray, fmt, policy, trials: int,
         seed=seed)
     plans = inc_campaign.generate_plans(trials)
     batched_campaign.generate_plans(trials)  # consume the same RNG draws
-    inc_result, inc_seconds = _timed_run(inc_campaign, plans,
-                                         incremental=True)
+    # Both campaigns are deterministic replay engines, so the ratio is
+    # timing-noise bound: time each path BATCHED_TIMING_REPEATS times and
+    # keep the fastest (standard best-of-N benchmarking; later repeats
+    # reuse the lazily-built golden caches, which both paths share).
+    inc_result = inc_seconds = None
+    for _ in range(BATCHED_TIMING_REPEATS):
+        result, seconds = _timed_run(inc_campaign, plans, incremental=True)
+        if inc_result is not None and result.sdc_counts != inc_result.sdc_counts:
+            raise RuntimeError(
+                f"incremental replay is not deterministic on "
+                f"'{model.name}': {result.sdc_counts} != "
+                f"{inc_result.sdc_counts}")
+        inc_result = result
+        inc_seconds = seconds if inc_seconds is None else min(inc_seconds,
+                                                              seconds)
+    # Cold packing cost, timed apart from the replay (the 2%-of-wall-time
+    # budget guard in benchmarks/test_campaign_throughput.py watches it).
     start = time.perf_counter()
-    batched_result = batched_campaign.run(plans=plans,
-                                          batch_trials=BATCH_WIDTH)
-    batched_seconds = time.perf_counter() - start
-    if batched_result.sdc_counts != inc_result.sdc_counts:
-        raise RuntimeError(
-            f"batched replay verdicts diverged from the incremental "
-            f"reference on '{model.name}': {batched_result.sdc_counts} != "
-            f"{inc_result.sdc_counts}")
+    packing = batched_campaign.pack_batches(plans, BATCH_WIDTH)
+    pack_seconds = time.perf_counter() - start
+    batched_result = batched_seconds = None
+    for _ in range(BATCHED_TIMING_REPEATS):
+        start = time.perf_counter()
+        result = batched_campaign.run(plans=plans, batch_trials=BATCH_WIDTH,
+                                      packing=packing)
+        seconds = time.perf_counter() - start
+        if result.sdc_counts != inc_result.sdc_counts:
+            raise RuntimeError(
+                f"batched replay verdicts diverged from the incremental "
+                f"reference on '{model.name}': {result.sdc_counts} != "
+                f"{inc_result.sdc_counts}")
+        batched_result = result
+        batched_seconds = seconds if batched_seconds is None \
+            else min(batched_seconds, seconds)
     return {
         "incremental_seconds": inc_seconds,
         "batched_seconds": batched_seconds,
@@ -167,6 +208,68 @@ def _measure_batched(model, inputs: np.ndarray, fmt, policy, trials: int,
         "batched_trials_per_sec": trials / batched_seconds,
         "speedup": inc_seconds / batched_seconds,
         "max_ulp_deviation": batched_result.max_ulp_deviation,
+        "mean_occupancy": batched_result.mean_batch_occupancy or 0.0,
+        "batched_fraction": batched_result.batched_fraction,
+        "union_overhead_nodes": batched_result.union_overhead_nodes,
+        "pack_seconds": pack_seconds,
+        "pack_fraction": pack_seconds / (batched_seconds + pack_seconds),
+    }
+
+
+#: Pool-reuse section: back-to-back same-config campaigns and worker count.
+POOL_REPEATS = 3
+POOL_WORKERS = 2
+
+
+def _measure_pool_reuse(prepared, scale) -> Dict[str, float]:
+    """Fresh per-campaign fan-out vs. one persistent pool, back-to-back.
+
+    Runs the same pre-sampled plans ``POOL_REPEATS`` times under each
+    backend with a fresh same-seed campaign per repeat (every fresh run
+    pays its own pool spawn and worker-side campaign rebuild; the pooled
+    runs share one spawn and reuse the worker-side campaign after the
+    first).  Per-criterion counts must stay identical across every run —
+    the pool's bit-identity guarantee, asserted wherever the benchmark
+    executes.
+    """
+    inputs, _ = prepared.correctly_predicted_inputs(scale.num_inputs,
+                                                    seed=scale.seed)
+
+    def fresh_campaign() -> FaultInjectionCampaign:
+        return FaultInjectionCampaign(
+            prepared.model, inputs, fault_model=SingleBitFlip(FIXED32),
+            dtype_policy=fixed32_policy(), seed=scale.seed)
+
+    campaign = fresh_campaign()
+    plans = campaign.generate_plans(scale.trials)
+    reference = None
+
+    def check(result) -> None:
+        nonlocal reference
+        if reference is None:
+            reference = result
+        elif result.sdc_counts != reference.sdc_counts:
+            raise RuntimeError(
+                f"pooled campaign diverged from the fresh reference on "
+                f"'{prepared.model.name}': {result.sdc_counts} != "
+                f"{reference.sdc_counts}")
+
+    start = time.perf_counter()
+    for position in range(POOL_REPEATS):
+        check((campaign if position == 0 else fresh_campaign()).run(
+            plans=plans, workers=POOL_WORKERS))
+    fresh_seconds = time.perf_counter() - start
+    with CampaignPool(workers=POOL_WORKERS) as pool:
+        start = time.perf_counter()
+        for _ in range(POOL_REPEATS):
+            check(fresh_campaign().run(plans=plans, pool=pool))
+        pooled_seconds = time.perf_counter() - start
+    return {
+        "fresh_seconds": fresh_seconds,
+        "pooled_seconds": pooled_seconds,
+        "speedup": fresh_seconds / pooled_seconds,
+        "campaigns": POOL_REPEATS,
+        "workers": POOL_WORKERS,
     }
 
 
@@ -240,14 +343,34 @@ def run_campaign_throughput(scale: Optional[ExperimentScale] = None,
                                  stats["incremental_trials_per_sec"],
                                  stats["batched_trials_per_sec"],
                                  stats["speedup"],
+                                 stats["mean_occupancy"],
+                                 stats["batched_fraction"],
+                                 stats["union_overhead_nodes"],
+                                 100.0 * stats["pack_fraction"],
                                  stats["max_ulp_deviation"]])
     rendered += "\n\n" + render_table(
         ["model", "datatype", "incr trials/s",
-         f"batched[B={BATCH_WIDTH}] trials/s", "speedup", "max ulp dev"],
+         f"batched[B={BATCH_WIDTH}] trials/s", "speedup",
+         "occupancy rows/batch", "batched frac", "union overhead",
+         "pack %", "max ulp dev"],
         batched_rows,
-        title=(f"Campaign throughput — batched (ULP_TOLERANT) vs. "
-               f"incremental replay ({batched_trials} trials, "
+        title=(f"Campaign throughput — union-cone batched (ULP_TOLERANT) "
+               f"vs. incremental replay ({batched_trials} trials, "
                f"{BATCHED_NUM_INPUTS} inputs)"))
+
+    # Persistent pool vs. fresh fan-out over back-to-back campaigns.
+    pool_model = "squeezenet" if "squeezenet" in available else models[0]
+    pool_stats = _measure_pool_reuse(get_prepared(pool_model, scale), scale)
+    data["pool"] = dict(pool_stats, model=pool_model)
+    rendered += "\n\n" + render_table(
+        ["model", "campaigns", "workers", "fresh s", "pooled s",
+         "pool speedup"],
+        [[pool_model, POOL_REPEATS, POOL_WORKERS,
+          pool_stats["fresh_seconds"], pool_stats["pooled_seconds"],
+          pool_stats["speedup"]]],
+        title=("Campaign throughput — persistent CampaignPool vs. fresh "
+               "per-campaign worker pools (same-config back-to-back "
+               "campaigns, bit-identity asserted)"))
     return ExperimentResult(name="campaign_throughput",
                             paper_reference="Sec. IV campaign methodology",
                             data=data, rendered=rendered)

@@ -35,6 +35,27 @@ OutputHook = Callable[[Node, Array], Array]
 #: after all output hooks.
 Observer = Callable[[Node, Array], None]
 
+#: Smallest per-row element count for which batched replay runs the full
+#: three-tier row-divergence screen.  Masked faults die at the big early
+#: activations, where the tiered screen earns its dispatch cost; below the
+#: floor a single exact-equality comparison terminates masked rows instead
+#: (a conservative subset: a row within ULP tolerance but not bit-equal
+#: just stays dirty, carrying its exact value).  Correctness is unaffected
+#: either way — snapping a row back to golden only ever replaces a value
+#: proved (bit- or ULP-) equal to golden.
+DIVERGENCE_CHECK_MIN_ELEMENTS = 8192
+
+#: Adaptive back-off for the full divergence screen: once this many
+#: consecutive checked nodes mask nothing (the steady state of
+#: skip-connection graphs, whose residual adds keep every surviving row
+#: alive to the output), the screen runs only every
+#: ``DIVERGENCE_BACKOFF_STRIDE``-th big node until a mask is seen again.
+#: A late-masking row then terminates within a stride's worth of extra
+#: node evaluations — and on mask-heavy configurations the counter keeps
+#: resetting, so the screen effectively never backs off.
+DIVERGENCE_BACKOFF_NODES = 3
+DIVERGENCE_BACKOFF_STRIDE = 6
+
 
 class DTypePolicy:
     """Numeric policy applied to every operator output.
@@ -377,12 +398,14 @@ class Executor:
         comparable), and the largest distance among the rows declared clean
         (the tolerance actually consumed).
 
-        Hot path: a single subtract/abs/row-max sweep decides almost every
-        row — zero peak deviation is clean at any threshold (fixed-point
-        dtype policies quantize masked rows back onto exactly the cached
-        grid values), and a surviving fault's deviation provably exceeds
-        any sane ULP threshold — so the exact ULP arithmetic only ever
-        touches the rare undecided rows.
+        Hot path, three tiers: a strided subsample convicts the typical
+        *dirty* row (a surviving fault's deviation provably exceeds any
+        sane ULP threshold) without reading most of its elements; an exact
+        equality pass retires the typical *clean* row (fixed-point dtype
+        policies quantize masked rows back onto exactly the cached grid
+        values); and only the contested remainder pays the subtract/abs/
+        row-max screen, with exact ULP arithmetic for the rare rows the
+        screen cannot decide.
         """
         rows = np.asarray(rows)
         count = rows.shape[0]
@@ -393,35 +416,66 @@ class Executor:
             dirty = np.array([not np.array_equal(rows[i], cached[0])
                               for i in range(count)], dtype=bool)
             return dirty, 0.0
-        # One subtract+abs pass and a row max classify almost everything:
-        # a row with zero deviation is clean at any threshold (fixed-point
-        # quantization snaps masked rows to exactly this), and a row whose
-        # peak deviation provably exceeds the threshold in ULPs is surely
-        # dirty.  The ULP size at magnitude m is at most eps*m for normal
-        # floats, and for the peak-deviation element |a| <= max|cached| and
-        # |b| <= max|cached| + peak, so peak > threshold * eps *
-        # (max|cached| + peak) proves the distance exceeds the threshold —
-        # a real fault's deviation sits astronomically above this line.
-        # (Subnormals can be over-flagged as dirty, which only forgoes
-        # masking, never correctness.)
-        delta = np.subtract(rows, cached)
-        np.abs(delta, out=delta)
-        peak = delta.reshape(count, -1).max(axis=1)
         max_cached = float(np.abs(cached).max()) if cached.size else 0.0
         eps = np.finfo(np.float64).eps
+        flat = rows.reshape(count, -1)
+        flat_cached = np.asarray(cached).reshape(-1)
+        elements = flat.shape[1]
+        dirty = np.ones(count, dtype=bool)
+        undecided = np.arange(count)
+        if count > 1 and elements >= DIVERGENCE_CHECK_MIN_ELEMENTS:
+            # Sampled pre-screen: a surviving fault perturbs a visible
+            # fraction of a conv/norm output, so a strided subsample almost
+            # always proves a dirty row dirty without reading the other
+            # ~99% of its elements.  Rows the sample cannot convict (clean
+            # rows, NaN samples, sub-threshold noise) fall through to the
+            # exact screens below — sampling can only defer a verdict,
+            # never decide one.
+            stride = max(1, elements // 1024)
+            speak = np.abs(flat[:, ::stride]
+                           - flat_cached[::stride]).max(axis=1)
+            sample_dirty = speak > threshold * eps * (max_cached + speak)
+            if sample_dirty.all():
+                return sample_dirty, 0.0
+            undecided = np.flatnonzero(~sample_dirty)
+        # Exact-equality pass: masked rows land *exactly* on the cached
+        # values under fixed-point dtype policies (quantization snaps them
+        # back onto the grid), so one comparison retires the typical clean
+        # row with a bool temporary instead of the float subtract sweep.
+        # (`==` equates -0.0 with 0.0, matching the subtract screen's
+        # zero-deviation verdict; NaNs compare unequal and fall through.)
+        sub = flat if len(undecided) == count else flat[undecided]
+        equal = (sub == flat_cached).all(axis=1)
+        dirty[undecided[equal]] = False
+        contested = undecided[~equal]
+        if not contested.size:
+            return dirty, 0.0
+        # One subtract+abs pass and a row max classify the contested rest:
+        # a row whose peak deviation provably exceeds the threshold in
+        # ULPs is surely dirty.  The ULP size at magnitude m is at most
+        # eps*m for normal floats, and for the peak-deviation element
+        # |a| <= max|cached| and |b| <= max|cached| + peak, so peak >
+        # threshold * eps * (max|cached| + peak) proves the distance
+        # exceeds the threshold — a real fault's deviation sits
+        # astronomically above this line.  (Subnormals can be over-flagged
+        # as dirty, which only forgoes masking, never correctness.)
+        delta = np.abs(flat[contested] - flat_cached)
+        peak = delta.max(axis=1)
         surely_dirty = peak > threshold * eps * (max_cached + peak)
         # Undecided rows: nonzero deviation below the screen (BLAS
         # reassociation noise) or NaN peaks (NaN comparisons are False on
         # both screens).  Only these pay for exact ULP distances, which
         # also treat equal-payload NaNs as distance 0.
-        undecided = np.flatnonzero(~surely_dirty & ~(peak == 0.0))
-        if not len(undecided):
-            return surely_dirty, 0.0
-        dirty = surely_dirty.copy()
-        dist = max_row_ulp_distance(rows[undecided], cached)
-        dirty[undecided] = dist > threshold
-        clean = dist[dist <= threshold]
-        return dirty, float(clean.max()) if clean.size else 0.0
+        deviation = 0.0
+        contest_open = np.flatnonzero(~surely_dirty)
+        if contest_open.size:
+            dist = max_row_ulp_distance(rows[contested[contest_open]],
+                                        cached)
+            clean = dist <= threshold
+            dirty[contested[contest_open[clean]]] = False
+            if clean.any():
+                deviation = float(dist[clean].max())
+        return dirty, deviation
 
     def _broadcast_cached(self, cached_values: Mapping[str, Array],
                           name: str, count: int) -> Array:
@@ -450,6 +504,7 @@ class Executor:
                          feed: Optional[Mapping[str, Array]] = None,
                          equivalence: Union[EquivalenceMode, str, None] = None,
                          max_ulps: float = DEFAULT_MAX_ULPS,
+                         dirty_row_masks: Optional[Mapping[str, np.ndarray]] = None,
                          ) -> BatchedExecutionResult:
         """Replay B independent trials in one batched partial re-execution.
 
@@ -465,6 +520,19 @@ class Executor:
         batch-coupled operator (training-mode BatchNorm or Dropout, an
         axis-0 concat) raises :class:`GraphError` instead of silently
         entangling trials.
+
+        **Cross-site batches.**  Rows need not share a fault site: with
+        ``dirty_row_masks``, each stacked dirty value carries a boolean
+        row-membership mask and only the masked rows *enter* the replay at
+        that node — the replay then walks the **union cone** of every entry
+        node, and per-row dirty tracking confines each row to its own
+        site's cone (a row is only ever evaluated at nodes its own dirt
+        reached; rows outside a node's cone are implicitly golden there).
+        Entry nodes may lie inside each other's cones (nested cones): rows
+        entering at a node take their injected value as-is — the
+        stacked-dirty-value contract, unchanged — while rows that another
+        entry dirtied upstream are re-evaluated *through* the node exactly
+        like any other cone member.
 
         Change propagation is tracked **per row**: a re-evaluated node keeps
         a boolean mask of the rows that still differ from the golden cache,
@@ -492,9 +560,11 @@ class Executor:
         dirty:
             Node name(s) whose operators must be re-evaluated for every row.
         stacked_dirty_values:
-            Node name → ``(B, ...)`` replacement outputs, installed without
-            re-evaluation (row ``i`` is trial ``i``'s corrupted activation).
-            All stacked values must agree on ``B``.
+            Node name → replacement outputs, installed without
+            re-evaluation.  Without a row mask the value has ``(B, ...)``
+            rows (row ``i`` is trial ``i``'s corrupted activation, every
+            row enters here); with an entry in ``dirty_row_masks`` it is
+            *packed* — one row per set mask bit, in ascending row order.
         outputs:
             Node names to report; defaults to the graph's marked outputs.
         feed:
@@ -504,6 +574,11 @@ class Executor:
             Row-masking mode; defaults to ``ULP_TOLERANT``.
         max_ulps:
             Row-masking tolerance under ``ULP_TOLERANT``.
+        dirty_row_masks:
+            Optional node name → boolean ``(B,)`` mask naming the rows that
+            enter the replay at that node (cross-site batches).  Masked
+            nodes' stacked values are packed to the mask's set bits; nodes
+            absent from the mapping keep the homogeneous all-rows contract.
         """
         mode = EquivalenceMode.coerce(equivalence, EquivalenceMode.ULP_TOLERANT)
         threshold = 0.0 if mode is EquivalenceMode.EXACT else float(max_ulps)
@@ -516,24 +591,68 @@ class Executor:
             raise GraphError(f"requested outputs not in graph: {missing}")
         overrides = {name: np.asarray(value)
                      for name, value in (stacked_dirty_values or {}).items()}
+        row_masks: Dict[str, np.ndarray] = {}
+        for name, mask in (dirty_row_masks or {}).items():
+            if name not in overrides:
+                raise GraphError(
+                    f"dirty_row_masks names '{name}' but no stacked dirty "
+                    f"value was supplied for it")
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim != 1:
+                raise GraphError(
+                    f"row mask for '{name}' must be one-dimensional, got "
+                    f"shape {mask.shape}")
+            row_masks[name] = mask
         reeval_seeds = ({dirty} if isinstance(dirty, str) else set(dirty))
         reeval_seeds -= set(overrides)
         seeds = reeval_seeds | set(overrides)
         for name in seeds:
             if name not in self.graph:
                 raise GraphError(f"unknown dirty node '{name}'")
-        batch_sizes = {value.shape[0] for value in overrides.values()}
+        batch_sizes = {value.shape[0] for name, value in overrides.items()
+                       if name not in row_masks}
+        batch_sizes |= {mask.shape[0] for mask in row_masks.values()}
         if len(batch_sizes) > 1:
             raise GraphError(
                 f"stacked dirty values disagree on the batch size: "
                 f"{sorted(batch_sizes)}")
         batch = batch_sizes.pop() if batch_sizes else 1
+        # Normalized entry frontier: per node, the (B,) membership mask of
+        # the rows entering the replay there plus their packed values (one
+        # row per set bit, ascending row order).  Homogeneous overrides get
+        # an all-rows mask, so the single-site fast path is the masked path
+        # with a full mask.
+        entry_masks: Dict[str, np.ndarray] = {}
+        entry_rows: Dict[str, Array] = {}
+        for name, rows in overrides.items():
+            mask = row_masks.get(name)
+            if mask is None:
+                mask = np.ones(batch, dtype=bool)
+            elif rows.shape[0] != int(np.count_nonzero(mask)):
+                raise GraphError(
+                    f"stacked value for '{name}' has {rows.shape[0]} rows "
+                    f"but its row mask selects "
+                    f"{int(np.count_nonzero(mask))}")
+            if not mask.any():
+                continue  # no row enters here; nothing to install
+            if self.graph.node(name).op.batch_axis is None:
+                # Batch-invariant nodes (variables, constants) are shared
+                # by every row — assemble_input serves them from the cache,
+                # so a stacked override here would be silently ignored.
+                # Refuse, matching the re-evaluation path's error.
+                raise GraphError(
+                    f"run_from_batched(): cannot install stacked dirty "
+                    f"values at batch-invariant node '{name}' "
+                    f"({type(self.graph.node(name).op).__name__}); use "
+                    f"run_from() for weight/constant updates")
+            entry_masks[name] = mask
+            entry_rows[name] = rows
 
-        cone = self.graph.downstream(seeds) if seeds else set()
+        cone = self.graph.downstream_union(seeds) if seeds else frozenset()
         needed = self.graph.ancestors(requested)
-        recompute = (cone & needed) - set(overrides)
+        recompute = cone & frozenset(needed)
         if batch > 1:
-            coupled = [name for name in (recompute | set(overrides))
+            coupled = [name for name in (set(recompute) | set(overrides))
                        if not self.graph.node(name).op.batch_transparent]
             if coupled:
                 ops = {name: type(self.graph.node(name).op).__name__
@@ -556,6 +675,8 @@ class Executor:
         recomputed: Set[str] = set()
         rows_evaluated = 0
         max_deviation = 0.0
+        nodes_since_mask = 0
+        big_checks_skipped = 0
 
         topo = self.graph.topo_index()
 
@@ -571,16 +692,12 @@ class Executor:
                     f"run_from_batched(): stacked value for '{name}' has row "
                     f"shape {rows.shape[1:]}, cache has "
                     f"{np.asarray(cached).shape[1:]}")
-            # Every override row counts as dirty without inspection: stacked
-            # dirty values are corrupted activations by contract, and a
-            # corruption that happens to reproduce the golden value (e.g. a
-            # stuck-at-zero fault on an already-zero element) is simply
-            # masked one node later, when its consumer's output snaps back
-            # to the cache — same results, and it spares two full passes
-            # over the (B, ...) stack per fault node on the hot path.
-            dirty_masks[name] = np.ones(batch, dtype=bool)
-            dirty_rows_of[name] = rows
-            last_dirty_use = max(last_dirty_use, influence_horizon(name))
+        # Entry nodes are installed when the topological walk reaches them
+        # (another entry's dirt may flow *through* them first), so the walk
+        # must not terminate while entries are still pending.  Entries
+        # outside the requested outputs' ancestor set cannot influence any
+        # output and are dropped with their rows.
+        pending_entries = sum(1 for name in entry_masks if name in recompute)
         pending_seeds = len(reeval_seeds & recompute)
 
         def assemble_input(name: str, need: np.ndarray,
@@ -597,7 +714,7 @@ class Executor:
                     or self.graph.node(name).op.batch_axis is None):
                 return self._broadcast_cached(cached_values, name, count)
             packed = dirty_rows_of[name]
-            if np.array_equal(mask, need):
+            if mask is need or np.array_equal(mask, need):
                 return packed
             try:
                 cached = cached_values[name]
@@ -606,26 +723,59 @@ class Executor:
                     f"run_from_batched(): no cached value for partially "
                     f"dirty input '{name}'") from None
             cached = np.asarray(cached)
-            assembled = np.array(np.broadcast_to(
-                cached, (count,) + cached.shape[1:]))
+            packed = np.asarray(packed)
+            # Fill an empty buffer row-class by row-class instead of
+            # materializing a full golden broadcast first and overwriting
+            # the dirty rows — every row is written exactly once.  ``need``
+            # may exclude rows the input is dirty for (an entry node's own
+            # rows are installed, not evaluated), so the dirty scatter
+            # takes the mask ∩ need subset of the packed store.
+            assembled = np.empty((count,) + cached.shape[1:],
+                                 dtype=np.result_type(cached, packed))
             position_of = np.cumsum(need) - 1
-            assembled[position_of[mask]] = packed
+            take = mask & need
+            assembled[position_of[need & ~mask]] = cached
+            if take.any():
+                rows = (packed if np.array_equal(take, mask)
+                        else packed[take[mask]])
+                assembled[position_of[take]] = rows
             return assembled
 
         for name in sorted(recompute, key=topo.__getitem__):
-            if not pending_seeds and topo[name] > last_dirty_use:
+            if (not pending_seeds and not pending_entries
+                    and topo[name] > last_dirty_use):
                 break  # no remaining node can see a dirty row
             node = self.graph.node(name)
             is_seed = name in reeval_seeds
-            need = np.zeros(batch, dtype=bool)
-            for inp in node.inputs:
-                mask = dirty_masks.get(inp)
-                if mask is not None:
-                    need |= mask
+            entry = entry_masks.get(name)
             if is_seed:
-                need[:] = True
-            if not need.any():
-                continue  # every input row is clean: the cache stands
+                need = np.ones(batch, dtype=bool)
+            else:
+                input_masks = [dirty_masks[inp] for inp in node.inputs
+                               if inp in dirty_masks]
+                if len(input_masks) == 1:
+                    # Borrowed, treated read-only (the single-input chain is
+                    # the hot case; assemble_input's identity fast path
+                    # makes it copy-free end to end).
+                    need = input_masks[0]
+                elif input_masks:
+                    need = np.logical_or.reduce(input_masks)
+                else:
+                    need = None
+            if entry is not None:
+                pending_entries -= 1
+                # Rows entering here take their injected value as-is (the
+                # stacked-dirty-value contract: it is a final, already
+                # policy-processed activation); only rows that *another*
+                # entry dirtied upstream re-evaluate through this node.
+                need = None if need is None else need & ~entry
+            if need is None or not need.any():
+                if entry is None:
+                    continue  # every input row is clean: the cache stands
+                dirty_masks[name] = entry
+                dirty_rows_of[name] = entry_rows[name]
+                last_dirty_use = max(last_dirty_use, influence_horizon(name))
+                continue
             if node.op.batch_axis is None:
                 raise GraphError(
                     f"run_from_batched(): cannot re-evaluate batch-invariant "
@@ -660,13 +810,62 @@ class Executor:
             recomputed.add(name)
             if is_seed:
                 pending_seeds -= 1
-            dirty, deviation = self._row_divergence(out, cached, threshold)
-            max_deviation = max(max_deviation, deviation)
+            out_arr = np.asarray(out)
+            out_elements = out_arr.size // count if count else 0
+            checked_big = False
             if cached is None:
-                # Without a golden value there is nothing to snap clean rows
-                # back to: keep every evaluated row dirty.
+                # Without a golden value there is nothing to snap clean
+                # rows back to: keep every evaluated row dirty.
                 dirty = np.ones(count, dtype=bool)
-            if dirty.any():
+            elif out_elements < DIVERGENCE_CHECK_MIN_ELEMENTS:
+                # Small outputs: one exact-equality comparison still
+                # terminates masked rows but skips the screening machinery
+                # — a conservative subset of _row_divergence (a row within
+                # ULP tolerance but not bit-equal simply stays dirty,
+                # carrying its exact value; under fixed-point policies
+                # masked rows are bit-equal anyway).
+                cached_arr = np.asarray(cached)
+                if (cached_arr.dtype == out_arr.dtype
+                        and cached_arr.shape[1:] == out_arr.shape[1:]):
+                    dirty = ~(out_arr == cached_arr).reshape(
+                        count, -1).all(axis=1)
+                else:
+                    dirty = np.ones(count, dtype=bool)
+            elif (nodes_since_mask > DIVERGENCE_BACKOFF_NODES
+                    and big_checks_skipped + 1 < DIVERGENCE_BACKOFF_STRIDE):
+                # Backed off (see DIVERGENCE_BACKOFF_NODES): nothing has
+                # masked in a while, so skip the bandwidth-bound screen and
+                # keep the rows dirty with their exact values.
+                big_checks_skipped += 1
+                dirty = np.ones(count, dtype=bool)
+            else:
+                checked_big = True
+                big_checks_skipped = 0
+                dirty, deviation = self._row_divergence(out, cached,
+                                                        threshold)
+                max_deviation = max(max_deviation, deviation)
+            if cached is not None and (checked_big
+                                       or out_elements
+                                       < DIVERGENCE_CHECK_MIN_ELEMENTS):
+                nodes_since_mask = 0 if dirty.shape[0] > int(dirty.sum()) \
+                    else nodes_since_mask + 1
+            if entry is not None:
+                # Merge the injected entry rows with the re-evaluated ones
+                # (ascending row order, like every packed store).
+                packed_entry = np.asarray(entry_rows[name])
+                final_mask = entry.copy()
+                final_mask[need_idx[dirty]] = True
+                out = np.asarray(out)
+                combined = np.empty(
+                    (int(np.count_nonzero(final_mask)),) + out.shape[1:],
+                    dtype=np.result_type(packed_entry, out))
+                position_of = np.cumsum(final_mask) - 1
+                combined[position_of[entry]] = packed_entry
+                combined[position_of[need_idx[dirty]]] = out[dirty]
+                dirty_masks[name] = final_mask
+                dirty_rows_of[name] = combined
+                last_dirty_use = max(last_dirty_use, influence_horizon(name))
+            elif dirty.any():
                 mask = np.zeros(batch, dtype=bool)
                 mask[need_idx[dirty]] = True
                 dirty_masks[name] = mask

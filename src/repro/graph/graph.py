@@ -73,6 +73,10 @@ class Graph:
         #: per-trial cone queries all hit these.
         self._downstream_memo: Dict[str, Set[str]] = {}
         self._ancestors_memo: Dict[str, Set[str]] = {}
+        #: Union-cone memo keyed by frozenset of start names; the batched
+        #: campaign packer asks for the same unions once per (fault-node
+        #: set, batch) combination, so these are hit constantly at scale.
+        self._union_memo: Dict[frozenset, frozenset] = {}
         self._topo_index: Optional[Dict[str, int]] = None
 
     # -- construction ------------------------------------------------------
@@ -101,6 +105,8 @@ class Graph:
             self._downstream_memo.clear()
         if self._ancestors_memo:
             self._ancestors_memo.clear()
+        if self._union_memo:
+            self._union_memo.clear()
         self._topo_index = None
         return name
 
@@ -208,6 +214,23 @@ class Graph:
                         memo.add(consumer)
                         frontier.append(consumer)
             self._downstream_memo[start] = memo
+        return memo
+
+    def downstream_union(self, starts: Iterable[str]) -> frozenset:
+        """The union cone of ``starts``, memoized per start *set*.
+
+        Semantically ``frozenset(self.downstream(starts))``, but the union
+        itself is cached keyed by the start set: the cross-site batch packer
+        scores candidate batches by how much a site's cone grows the union,
+        and campaigns ask for the same fault-node sets over and over (every
+        trial at a site, every batch containing it).  Returned frozensets
+        are shared — treat them as immutable.
+        """
+        key = starts if isinstance(starts, frozenset) else frozenset(starts)
+        memo = self._union_memo.get(key)
+        if memo is None:
+            memo = frozenset(self.downstream(key))
+            self._union_memo[key] = memo
         return memo
 
     def ancestors(self, targets: Union[str, Iterable[str]]) -> Set[str]:

@@ -26,6 +26,7 @@ from .injector import (
     downstream_nodes,
     last_layer_exclusions,
 )
+from .pool import CampaignPool
 from .sdc import (
     STEERING_THRESHOLDS,
     SDCCriterion,
@@ -35,6 +36,7 @@ from .sdc import (
 )
 
 __all__ = [
+    "CampaignPool",
     "CampaignResult",
     "CampaignSpec",
     "ConsecutiveBitFlip",

@@ -35,20 +35,33 @@ Batched execution
 -----------------
 
 ``run(batch_trials=B)`` additionally stacks up to ``B`` trials that share an
-``(input, fault-node set)`` into one batched partial re-execution
+input into one batched partial re-execution
 (:meth:`Executor.run_from_batched` via
-:meth:`FaultInjector.inject_cached_batch`): the B corrupted activations
-travel as one ``(B, ...)`` tensor, so every re-evaluated node in the fault
-cone costs one BLAS call instead of B.  Trial *identity* is untouched —
-plans are pre-sampled exactly as before and each trial keeps its own
-:func:`trial_rng` stream — so batching composes with ``workers=N`` sharding
-and with paired comparisons, and the applied-fault records stay
-bit-identical.  What weakens is the *numerical* guarantee: BLAS kernels are
-not bit-stable across batch shapes, so batched results carry the
-``ULP_TOLERANT`` equivalence mode (same SDC verdicts in practice, outputs
-within a few float64 ULPs of the batch-1 replay) and report the maximum
-deviation actually observed.  The default ``batch_trials=1`` path remains
-bit-exact (``EXACT``).
+:meth:`FaultInjector.inject_cached_batch`): the corrupted activations
+travel stacked along the batch dimension, so every re-evaluated node in the
+replay costs one BLAS call over its dirty rows instead of one call per
+trial.  Trials need **not** share a fault site — :meth:`pack_batches`
+greedily fills batches to full width with trials whose cones converge early
+(cone-suffix packing over the memoized ``Graph.downstream_union``), each
+row enters the replay at its own site, and per-row membership masks confine
+every row to its own cone, so cross-site batches cost no extra row
+evaluations.  Trial *identity* is untouched — plans are pre-sampled exactly
+as before and each trial keeps its own :func:`trial_rng` stream — so
+batching composes with ``workers=N`` sharding and with paired comparisons,
+and the applied-fault records stay bit-identical.  What weakens is the
+*numerical* guarantee: BLAS kernels are not bit-stable across batch shapes,
+so batched results carry the ``ULP_TOLERANT`` equivalence mode (same SDC
+verdicts in practice, outputs within a few float64 ULPs of the batch-1
+replay) and report the maximum deviation actually observed.  The default
+``batch_trials=1`` path remains bit-exact (``EXACT``).
+
+For experiment sweeps that run many campaigns back-to-back (the fig6 /
+fig9 / fig11-style grids), :class:`~repro.injection.pool.CampaignPool`
+keeps worker processes — and their models, executors and golden activation
+caches — alive across campaigns, so each campaign after the first skips
+the per-campaign spawn and cache-rebuild fixed costs.  Results stay
+bit-identical to fresh per-campaign runs (workers rebuild campaigns from
+the same pure-function spec either way).
 """
 
 from __future__ import annotations
@@ -56,7 +69,8 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
@@ -68,6 +82,9 @@ from ..models.base import Model
 from .fault_models import FaultModel, FaultSpec, SingleBitFlip
 from .injector import FaultInjector, InjectionPlan
 from .sdc import SDCCriterion, criteria_for_model
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
+    from .pool import CampaignPool
 
 #: Default ceiling (bytes) on the golden activation caches shipped inside a
 #: pickled :class:`CampaignSpec` to worker processes.  Below the budget,
@@ -81,6 +98,15 @@ from .sdc import SDCCriterion, criteria_for_model
 #: budget for deployments where worker-side compute is the scarce resource
 #: (e.g. heavily oversubscribed hosts), or set 0 to never ship.
 DEFAULT_CACHE_BUDGET_BYTES = 1 * 2 ** 20
+
+#: Union-cone budget of the cross-site batch packer
+#: (:meth:`FaultInjectionCampaign.pack_batches`): a trial joins a batch only
+#: while the union of the members' fault cones stays within this factor of
+#: the largest single member cone.  Feed-forward cones of topologically
+#: adjacent sites nest like suffixes (union ≈ largest member, factor ~1.0);
+#: the headroom admits branch divergence (fire modules, residual blocks)
+#: while refusing pathological unions of far-apart sites.
+DEFAULT_UNION_COST_FACTOR = 1.5
 
 
 def trial_rng(seed: int, trial_index: int) -> np.random.Generator:
@@ -145,6 +171,30 @@ class CampaignResult:
     #: declared clean and its batch-1 golden value — the tolerance the run
     #: actually consumed.  Always 0.0 for exact runs.
     max_ulp_deviation: float = 0.0
+    #: Batch-occupancy statistics (all 0 outside the batched path):
+    #: ``batch_count`` batched executor calls replayed ``batched_trials``
+    #: trials, and the batches' union cones contained
+    #: ``union_overhead_nodes`` more (node, needed)-restricted cone nodes
+    #: than their largest single member's cone would alone — the static
+    #: price of packing different sites together.  Without these the
+    #: occupancy lift of cross-site packing is unmeasurable.
+    batch_count: int = 0
+    batched_trials: int = 0
+    union_overhead_nodes: int = 0
+
+    @property
+    def mean_batch_occupancy(self) -> Optional[float]:
+        """Mean stacked rows per batched executor call (None when unbatched)."""
+        if self.batch_count == 0:
+            return None
+        return self.batched_trials / self.batch_count
+
+    @property
+    def batched_fraction(self) -> float:
+        """Fraction of trials replayed through the batched path."""
+        if self.trials == 0:
+            return 0.0
+        return self.batched_trials / self.trials
 
     @property
     def recompute_fraction(self) -> Optional[float]:
@@ -218,12 +268,22 @@ class CampaignResult:
             nodes_full=sum(s.nodes_full for s in shards),
             equivalence=first.equivalence,
             max_ulp_deviation=max(s.max_ulp_deviation for s in shards),
+            batch_count=sum(s.batch_count for s in shards),
+            batched_trials=sum(s.batched_trials for s in shards),
+            union_overhead_nodes=sum(s.union_overhead_nodes for s in shards),
         )
 
     def summary(self) -> str:
         lines = [f"{self.model_name} [{self.fault_model}] — {self.trials} trials"]
         lines.append(
             "  " + equivalence_note(self.equivalence, self.max_ulp_deviation))
+        if self.batch_count:
+            lines.append(
+                f"  batched: {self.batched_trials}/{self.trials} trials "
+                f"({100.0 * self.batched_fraction:.1f}%) in "
+                f"{self.batch_count} batches, mean occupancy "
+                f"{self.mean_batch_occupancy:.1f} rows/batch, union-cone "
+                f"overhead {self.union_overhead_nodes} nodes")
         for criterion in self.criteria:
             count = self.sdc_counts[criterion]
             lines.append(
@@ -277,6 +337,15 @@ class FaultInjectionCampaign:
         #: Per-input golden activation caches for partial re-execution,
         #: built lazily the first time a trial uses an input.
         self._golden_caches: Dict[int, Dict[str, np.ndarray]] = {}
+        #: Hoisted per-fault-node-set packing state, shared by
+        #: :meth:`group_batches` and :meth:`pack_batches`: the within-plan
+        #: overlap verdict and the needed-restricted union cone.  Both
+        #: depend only on the node *set*, and campaigns sample the same
+        #: sets over and over, so screening/packing cost stays
+        #: O(trials log trials) instead of paying cone queries per trial.
+        self._overlap_memo: Dict[frozenset, bool] = {}
+        self._cone_memo: Dict[frozenset, frozenset] = {}
+        self._needed_nodes: Optional[frozenset] = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -353,6 +422,9 @@ class FaultInjectionCampaign:
             equivalence=None,
             max_ulps: float = DEFAULT_MAX_ULPS,
             cache_budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+            packing: Optional[Tuple[List[Tuple[int, List[int]]],
+                                    List[int]]] = None,
+            pool: Optional["CampaignPool"] = None,
             ) -> CampaignResult:
         """Run the campaign and return aggregated SDC statistics.
 
@@ -378,11 +450,13 @@ class FaultInjectionCampaign:
         batch_trials:
             Maximum number of trials replayed per batched executor call.
             ``1`` (default) keeps the bit-exact incremental path.  ``B > 1``
-            groups trials that share an ``(input, fault-node set)`` and
-            replays each group by stacking its corrupted activations along
-            the batch dimension (one BLAS call per re-evaluated node instead
-            of B) — see :meth:`FaultInjector.inject_cached_batch`.  Trial
-            identity is untouched (every trial keeps its own
+            packs trials that share an *input* — across different fault
+            sites — into union-cone batches (:meth:`pack_batches`) and
+            replays each batch by stacking its corrupted activations along
+            the batch dimension, each row entering the replay at its own
+            site (one BLAS call over a node's dirty rows instead of one
+            call per trial) — see :meth:`FaultInjector.inject_cached_batch`.
+            Trial identity is untouched (every trial keeps its own
             :func:`trial_rng` stream), so batching composes with
             ``workers=N`` and with paired comparisons; only the numerical
             guarantee weakens from bit-exact to ``ULP_TOLERANT``.
@@ -399,6 +473,21 @@ class FaultInjectionCampaign:
             Ceiling on the golden activation caches shipped to worker
             processes inside the pickled spec (0 disables shipping); above
             the budget workers rebuild their caches lazily as before.
+        packing:
+            Optional pre-computed ``(batches, fallback)`` groups for the
+            serial batched path (the shape :meth:`pack_batches` returns).
+            :func:`compare_protection` packs once on the unprotected side
+            and reuses the groups on the protected side so the paired
+            batches stay bit-aligned; ignored when ``workers > 1`` (each
+            shard packs its own contiguous chunk).
+        pool:
+            Optional :class:`~repro.injection.pool.CampaignPool`.  When
+            given (and more than one trial is to run), the campaign is
+            fanned out across the pool's persistent worker processes
+            instead of spawning a fresh process pool — back-to-back
+            campaigns then reuse the workers' models and golden caches.
+            Results are bit-identical either way; ``workers`` is ignored
+            in favour of the pool's size.
         """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
@@ -423,6 +512,12 @@ class FaultInjectionCampaign:
                     "(batched replay resumes from golden activation caches)")
         if plans is None:
             plans = self.generate_plans(trials)
+        if pool is not None and len(plans) > 1:
+            return pool.run_plans(self, plans, keep_faults=keep_faults,
+                                  incremental=incremental,
+                                  trial_offset=trial_offset,
+                                  batch_trials=batch_trials,
+                                  equivalence=mode, max_ulps=max_ulps)
         if workers > 1 and len(plans) > 1:
             return self._run_parallel(plans, workers=workers,
                                       keep_faults=keep_faults,
@@ -436,7 +531,8 @@ class FaultInjectionCampaign:
             return self._run_batched(plans, batch_trials=batch_trials,
                                      keep_faults=keep_faults,
                                      trial_offset=trial_offset,
-                                     mode=mode, max_ulps=max_ulps)
+                                     mode=mode, max_ulps=max_ulps,
+                                     packing=packing)
         sdc_counts = {criterion.name: 0 for criterion in self.criteria}
         fault_log: List[List[FaultSpec]] = []
         # Per-trial cost of the full path: the ancestor-pruned subgraph it
@@ -477,13 +573,17 @@ class FaultInjectionCampaign:
     def group_batches(self, plans: Sequence[Tuple[int, InjectionPlan]],
                       batch_trials: int,
                       ) -> Tuple[List[Tuple[int, List[int]]], List[int]]:
-        """Group trial positions into batchable stacks.
+        """Group trial positions into identical-fault-site stacks.
 
-        Trials are batchable together when they share an input *and* a
-        fault-node set (their stacked corruptions then share one replay
-        cone); each group is chunked into batches of at most
-        ``batch_trials``.  Returns ``(batches, fallback)`` where each batch
-        is ``(input_index, positions)`` and ``fallback`` lists positions of
+        The conservative grouper: trials batch together only when they
+        share an input *and* a fault-node set (their stacked corruptions
+        then share one replay cone); each group is chunked into batches of
+        at most ``batch_trials``.  The runtime batched path uses the
+        cross-site :meth:`pack_batches` instead — which fills batches to
+        full width — but this grouping remains the reference for
+        occupancy comparisons and for callers that want single-cone
+        batches.  Returns ``(batches, fallback)`` where each batch is
+        ``(input_index, positions)`` and ``fallback`` lists positions of
         plans with overlapping sites, which must be replayed hook-based one
         at a time.  Grouping is deterministic (first-seen order) and does
         not reorder trial identities — every position keeps its global
@@ -492,11 +592,11 @@ class FaultInjectionCampaign:
         groups: Dict[Tuple[int, frozenset], List[int]] = {}
         fallback: List[int] = []
         for position, (input_index, plan) in enumerate(plans):
-            if self.injector.plan_sites_overlap(plan):
+            sites = frozenset(plan.node_names())
+            if self._sites_overlap(sites):
                 fallback.append(position)
                 continue
-            key = (input_index, frozenset(plan.node_names()))
-            groups.setdefault(key, []).append(position)
+            groups.setdefault((input_index, sites), []).append(position)
         batches: List[Tuple[int, List[int]]] = []
         for (input_index, _), positions in groups.items():
             for start in range(0, len(positions), batch_trials):
@@ -504,18 +604,138 @@ class FaultInjectionCampaign:
                                 positions[start:start + batch_trials]))
         return batches, fallback
 
+    # Per-node-set memo helpers: overlap verdicts and cones depend only on
+    # the fault-node *set*, which repeats across thousands of trials.
+
+    def _sites_overlap(self, sites: frozenset) -> bool:
+        verdict = self._overlap_memo.get(sites)
+        if verdict is None:
+            verdict = self.injector.sites_overlap(sites)
+            self._overlap_memo[sites] = verdict
+        return verdict
+
+    def _cone_in_needed(self, sites: frozenset) -> frozenset:
+        """The union cone of ``sites`` restricted to nodes the output needs."""
+        cone = self._cone_memo.get(sites)
+        if cone is None:
+            graph = self.model.graph
+            if self._needed_nodes is None:
+                self._needed_nodes = frozenset(
+                    graph.ancestors([self.model.output_name]))
+            cone = graph.downstream_union(sites) & self._needed_nodes
+            self._cone_memo[sites] = cone
+        return cone
+
+    def pack_batches(self, plans: Sequence[Tuple[int, InjectionPlan]],
+                     batch_trials: int,
+                     union_cost_factor: Optional[float] = None,
+                     ) -> Tuple[List[Tuple[int, List[int]]], List[int]]:
+        """Pack trials into cross-site batches by cone-suffix affinity.
+
+        The union-cone successor of :meth:`group_batches`: trials only need
+        to share an *input* to stack (each row enters the replay at its own
+        fault site), so the packer greedily fills batches to the full
+        ``batch_trials`` width instead of stopping at identical-site
+        groups.  Per input, trials are ordered by the topological index of
+        their earliest fault site (sites adjacent in topological order have
+        nested, suffix-like cones in feed-forward graphs — their union
+        costs barely more than the largest member), with identical
+        fault-node sets kept adjacent; a trial joins the current batch
+        while the batch has room **and** the union cone stays within
+        ``union_cost_factor`` times the largest member cone (both
+        restricted to the output's ancestor set).  A trial whose cone
+        would blow that budget — pathological unions of far-apart sites —
+        closes the batch and starts a fresh one, which degenerates to
+        per-site groups in the worst case.
+
+        All per-node-set state (overlap verdicts, union cones) is memoized,
+        so packing costs O(trials log trials) set-joins in the trial count.
+        Returns ``(batches, fallback)`` in the same shape as
+        :meth:`group_batches`; packing is deterministic and never reorders
+        trial identities (every position keeps its :func:`trial_rng`
+        stream).
+        """
+        if union_cost_factor is None:
+            union_cost_factor = DEFAULT_UNION_COST_FACTOR
+        topo = self.model.graph.topo_index()
+        fallback: List[int] = []
+        per_input: Dict[int, List[Tuple[int, tuple, int, frozenset]]] = {}
+        for position, (input_index, plan) in enumerate(plans):
+            sites = frozenset(plan.node_names())
+            if self._sites_overlap(sites):
+                fallback.append(position)
+                continue
+            entry = min(topo[name] for name in sites)
+            per_input.setdefault(input_index, []).append(
+                (entry, tuple(sorted(sites)), position, sites))
+
+        batches: List[Tuple[int, List[int]]] = []
+        for input_index in sorted(per_input):
+            items = per_input[input_index]
+            items.sort(key=lambda item: item[:3])
+            positions: List[int] = []
+            union: set = set()
+            largest_member = 0
+            for _, _, position, sites in items:
+                cone = self._cone_in_needed(sites)
+                if positions:
+                    grown_union = len(union) + len(cone - union)
+                    grown_member = max(largest_member, len(cone))
+                    if (len(positions) >= batch_trials
+                            or grown_union > union_cost_factor * grown_member):
+                        batches.append((input_index, positions))
+                        positions, union, largest_member = [], set(), 0
+                positions.append(position)
+                union |= cone
+                largest_member = max(largest_member, len(cone))
+            if positions:
+                batches.append((input_index, positions))
+        return batches, fallback
+
+    def _union_overhead(self, positions: Sequence[int],
+                        plans: Sequence[Tuple[int, InjectionPlan]]) -> int:
+        """Extra needed-cone nodes a batch's union walks beyond its largest
+        member's cone — the static price of packing different sites
+        together (0 for identical-site and perfectly nested batches).
+
+        Computed against *this* campaign's graph, so a packing reused from
+        a sibling campaign (the paired protected side) is priced against
+        the graph that actually replays it.
+        """
+        cones = {self._cone_in_needed(frozenset(plans[p][1].node_names()))
+                 for p in positions}
+        if len(cones) <= 1:
+            return 0
+        union: set = set()
+        for cone in cones:
+            union |= cone
+        return len(union) - max(len(cone) for cone in cones)
+
     def _run_batched(self, plans: List[Tuple[int, InjectionPlan]],
                      batch_trials: int, keep_faults: bool, trial_offset: int,
-                     mode: EquivalenceMode, max_ulps: float) -> CampaignResult:
-        """Serial batched backend: replay grouped trials in stacked passes."""
+                     mode: EquivalenceMode, max_ulps: float,
+                     packing: Optional[Tuple[List[Tuple[int, List[int]]],
+                                             List[int]]] = None,
+                     ) -> CampaignResult:
+        """Serial batched backend: replay packed trials in stacked passes.
+
+        ``packing`` optionally supplies pre-computed ``(batches, fallback)``
+        groups (the shape :meth:`pack_batches` / :meth:`group_batches`
+        return); paired comparisons pass the unprotected side's packing to
+        the protected side so both replay bit-aligned groups without
+        packing twice.
+        """
         sdc_counts = {criterion.name: 0 for criterion in self.criteria}
         fault_log: List[Optional[List[FaultSpec]]] = [None] * len(plans)
         full_cost = len(self.model.graph.ancestors([self.model.output_name]))
         nodes_recomputed = 0
         nodes_full = len(plans) * full_cost
         max_deviation = 0.0
+        batched_trials = 0
+        union_overhead = 0
 
-        batches, fallback = self.group_batches(plans, batch_trials)
+        batches, fallback = (packing if packing is not None
+                             else self.pack_batches(plans, batch_trials))
         for input_index, positions in batches:
             cache = self._golden_cache(input_index)
             golden = self._golden[input_index]
@@ -525,9 +745,11 @@ class FaultInjectionCampaign:
             stacked, faults, result = self.injector.inject_cached_batch(
                 self._executor, cache, batch_plans, rngs,
                 equivalence=mode, max_ulps=max_ulps,
-                validate_overlap=False)  # group_batches already screened
+                validate_overlap=False)  # the packer already screened
             nodes_recomputed += result.rows_evaluated
             max_deviation = max(max_deviation, result.max_ulp_deviation)
+            batched_trials += len(positions)
+            union_overhead += self._union_overhead(positions, plans)
             for criterion in self.criteria:
                 verdicts = criterion.is_sdc_rows(golden, stacked)
                 sdc_counts[criterion.name] += int(np.count_nonzero(verdicts))
@@ -554,7 +776,10 @@ class FaultInjectionCampaign:
                               nodes_recomputed=nodes_recomputed,
                               nodes_full=nodes_full,
                               equivalence=mode.value,
-                              max_ulp_deviation=max_deviation)
+                              max_ulp_deviation=max_deviation,
+                              batch_count=len(batches),
+                              batched_trials=batched_trials,
+                              union_overhead_nodes=union_overhead)
 
     def ship_golden_caches(self, spec: "CampaignSpec",
                            plans: Sequence[Tuple[int, InjectionPlan]],
@@ -704,6 +929,7 @@ def compare_protection(unprotected: Model, protected: Model,
                        workers: int = 1,
                        batch_trials: int = 1,
                        equivalence=None,
+                       pool: Optional["CampaignPool"] = None,
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
@@ -714,6 +940,14 @@ def compare_protection(unprotected: Model, protected: Model,
     same ``seed``, and each trial's corruption bits come from the per-trial
     stream :func:`trial_rng` derives from that seed, so the comparison stays
     bit-paired no matter how either campaign is sharded across ``workers``.
+
+    With ``batch_trials > 1`` **both** sides replay batched: the packer
+    groups are computed once on the unprotected side and reused by the
+    protected side (protection transforms keep original node names, so the
+    groups are valid on both graphs), which keeps the paired batches
+    bit-aligned and halves the packing work.  ``pool`` fans both campaigns
+    out over one persistent worker pool (see
+    :class:`~repro.injection.pool.CampaignPool`).
     """
     base = FaultInjectionCampaign(unprotected, inputs, fault_model=fault_model,
                                   criteria=criteria, dtype_policy=dtype_policy,
@@ -722,7 +956,12 @@ def compare_protection(unprotected: Model, protected: Model,
                                      criteria=criteria,
                                      dtype_policy=dtype_policy, seed=seed)
     plans = base.generate_plans(trials)
+    packing = None
+    if batch_trials > 1 and workers == 1 and pool is None:
+        packing = base.pack_batches(plans, batch_trials)
     return (base.run(plans=plans, incremental=incremental, workers=workers,
-                     batch_trials=batch_trials, equivalence=equivalence),
+                     batch_trials=batch_trials, equivalence=equivalence,
+                     packing=packing, pool=pool),
             guarded.run(plans=plans, incremental=incremental, workers=workers,
-                        batch_trials=batch_trials, equivalence=equivalence))
+                        batch_trials=batch_trials, equivalence=equivalence,
+                        packing=packing, pool=pool))

@@ -19,7 +19,8 @@ instead (its state space is a negligible fraction of the total).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 import numpy as np
 
@@ -215,23 +216,16 @@ class FaultInjector:
             pending.setdefault(node_name, []).append(element)
         return pending
 
-    def _corrupt_array(self, node_name: str, output: np.ndarray,
-                       elements: Sequence[int],
-                       applied: List[FaultSpec],
-                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Apply the fault model to ``elements`` of one node's output.
+    def _corrupt_flat(self, node_name: str, flat: np.ndarray,
+                      elements: Sequence[int], applied: List[FaultSpec],
+                      rng: np.random.Generator) -> None:
+        """Corrupt ``elements`` of one flattened activation *in place*.
 
-        The single corruption routine shared by every injection entry point
-        (full runs and cached replays), so the semantics cannot drift.
-        Appends one :class:`FaultSpec` per landed corruption to ``applied``
-        and returns the corrupted copy.  ``rng`` overrides the injector's
-        shared stream; campaigns pass a per-trial generator so a trial's
-        corruption bits depend only on the campaign seed and the trial
-        index, never on which process (or in which order) the trial runs.
+        The single corruption inner loop shared by every injection entry
+        point (full runs, cached replays and batched stacks), so the
+        semantics — element wrapping, RNG consumption order, fault-record
+        contents — cannot drift between them.
         """
-        rng = rng if rng is not None else self.rng
-        corrupted = np.array(output, dtype=np.float64, copy=True)
-        flat = corrupted.reshape(-1)
         for element in elements:
             index = element % flat.size
             original = float(flat[index])
@@ -241,6 +235,23 @@ class FaultInjector:
                                      element_index=index, bit=bit,
                                      original=original,
                                      corrupted=new_value))
+
+    def _corrupt_array(self, node_name: str, output: np.ndarray,
+                       elements: Sequence[int],
+                       applied: List[FaultSpec],
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Apply the fault model to ``elements`` of one node's output.
+
+        Appends one :class:`FaultSpec` per landed corruption to ``applied``
+        and returns the corrupted copy.  ``rng`` overrides the injector's
+        shared stream; campaigns pass a per-trial generator so a trial's
+        corruption bits depend only on the campaign seed and the trial
+        index, never on which process (or in which order) the trial runs.
+        """
+        rng = rng if rng is not None else self.rng
+        corrupted = np.array(output, dtype=np.float64, copy=True)
+        self._corrupt_flat(node_name, corrupted.reshape(-1), elements,
+                           applied, rng)
         return corrupted
 
     def _corruption_hook(self, plan: InjectionPlan,
@@ -296,6 +307,21 @@ class FaultInjector:
             executor.remove_output_hook(hook)
         return result, applied
 
+    def sites_overlap(self, names: Iterable[str],
+                      graph: Optional[Graph] = None) -> bool:
+        """True when one of ``names`` lies in another's downstream cone.
+
+        The overlap verdict depends only on the node *set* (never on the
+        element indices), so callers that screen many plans memoize this
+        per ``frozenset`` of names — see
+        :meth:`FaultInjectionCampaign.pack_batches`.
+        """
+        graph = graph if graph is not None else self.model.graph
+        names = sorted(set(names))
+        return len(names) > 1 and any(
+            other in graph.downstream(name)
+            for name in names for other in names if other != name)
+
     def plan_sites_overlap(self, plan: InjectionPlan,
                            graph: Optional[Graph] = None) -> bool:
         """True when one of the plan's sites lies in another site's cone.
@@ -306,11 +332,7 @@ class FaultInjector:
         (:meth:`inject_cached`'s dirty-value branch and
         :meth:`inject_cached_batch`).
         """
-        graph = graph if graph is not None else self.model.graph
-        names = sorted(plan.node_names())
-        return len(names) > 1 and any(
-            other in graph.downstream(name)
-            for name in names for other in names if other != name)
+        return self.sites_overlap(plan.node_names(), graph)
 
     def inject_cached(self, executor: Executor,
                       cached_values: Mapping[str, np.ndarray],
@@ -393,21 +415,28 @@ class FaultInjector:
         paired comparisons) is unaffected by batching.  Corruption is
         applied to the *golden cached* activations (every site is corrupted
         on top of its batch-1 golden value, per trial, in topological site
-        order), stacked along the batch dimension, and propagated through
-        the fault cone by :meth:`Executor.run_from_batched`.
+        order), and propagated through the replay by
+        :meth:`Executor.run_from_batched`.
 
-        The applied-fault records are therefore bit-identical to the
-        incremental path's; only the downstream propagation may differ from
-        batch-1 replay in the last ULPs (see the executor's equivalence
-        contract), which is why the returned outputs carry the
-        ``ULP_TOLERANT`` guarantee rather than bit-exactness.
+        Plans need **not** share a fault-node set: each trial's corrupted
+        activations enter the replay at that trial's own sites (per-node
+        row-membership masks), and the executor walks the union cone of
+        every site in the batch with per-row dirty tracking — a row is only
+        ever evaluated inside its own sites' cone, so heterogeneous
+        batches cost no extra row evaluations, only the union's walk.
+        Disjoint and nested cones are both fine; what stays rejected is
+        overlap *within* one plan (one of a trial's sites inside another of
+        the same trial's cones), because that trial's later corruption must
+        land on the faulty value flowing through it — the campaign
+        scheduler screens such plans out, falls back to
+        :meth:`inject_cached`, and passes ``validate_overlap=False`` so
+        already-screened plans skip the duplicate check.
 
-        Plans whose sites overlap (one site inside another site's cone)
-        must be replayed hook-based and are rejected with
-        :class:`InjectionError`; the campaign scheduler screens them out
-        and falls back to :meth:`inject_cached` per trial (and passes
-        ``validate_overlap=False`` so already-screened plans skip the
-        duplicate check).
+        The applied-fault records are bit-identical to the incremental
+        path's; only the downstream propagation may differ from batch-1
+        replay in the last ULPs (see the executor's equivalence contract),
+        which is why the returned outputs carry the ``ULP_TOLERANT``
+        guarantee rather than bit-exactness.
 
         Returns ``(stacked_outputs, per_trial_faults, batched_result)``
         where ``stacked_outputs[i]`` is trial ``i``'s faulty output row.
@@ -432,31 +461,51 @@ class FaultInjector:
                         f"be replayed batched; use inject_cached() for it")
 
         batch = len(plans)
-        stacked: Dict[str, np.ndarray] = {}
         for name in union_nodes:
-            try:
-                cached = cached_values[name]
-            except KeyError:
+            if name not in cached_values:
                 raise InjectionError(
                     f"no cached activation for fault site '{name}'; pass the "
-                    f"values of a fault-free run of the same input") from None
-            stacked[name] = np.repeat(np.asarray(cached), batch, axis=0)
+                    f"values of a fault-free run of the same input")
+
+        # Packed per-site corruption stacks: a node's stack holds one
+        # corrupted row per trial whose plan includes it (ascending trial
+        # order), and the membership mask makes exactly those rows the
+        # node's replay entries.  Trials without the site are implicitly
+        # golden there, so nothing is ever filled with golden copies just
+        # to ride along.  Stacks are bulk-replicated from the golden cache
+        # once and corrupted *in place*, so each member row is written
+        # once instead of copy-then-restack.
+        pendings = [self._group_sites(plan) for plan in plans]
+        member_rows: Dict[str, List[int]] = {}
+        for row, pending in enumerate(pendings):
+            for name in pending:
+                member_rows.setdefault(name, []).append(row)
+        stacked: Dict[str, np.ndarray] = {}
+        slot_of: Dict[str, Dict[int, int]] = {}
+        for name, rows in member_rows.items():
+            cached = np.asarray(cached_values[name], dtype=np.float64)
+            stacked[name] = np.repeat(cached, len(rows), axis=0)
+            slot_of[name] = {row: slot for slot, row in enumerate(rows)}
 
         per_trial_faults: List[List[FaultSpec]] = []
-        for row, (plan, rng) in enumerate(zip(plans, rngs)):
-            pending = self._group_sites(plan)
+        for row, (pending, rng) in enumerate(zip(pendings, rngs)):
             applied: List[FaultSpec] = []
             # Topological site order, exactly like the batch-1 replay, so
             # each trial consumes its generator identically either way.
             for name in sorted(pending, key=topo_index.__getitem__):
-                corrupted = self._corrupt_array(name, cached_values[name],
-                                                pending[name], applied,
-                                                rng=rng)
-                stacked[name][row] = corrupted[0]
+                flat = stacked[name][slot_of[name][row]].reshape(-1)
+                self._corrupt_flat(name, flat, pending[name], applied, rng)
             per_trial_faults.append(applied)
+
+        masks: Dict[str, np.ndarray] = {}
+        for name, rows in member_rows.items():
+            mask = np.zeros(batch, dtype=bool)
+            mask[rows] = True
+            masks[name] = mask
 
         result = executor.run_from_batched(
             cached_values, stacked_dirty_values=stacked,
+            dirty_row_masks=masks,
             outputs=[self.model.output_name], equivalence=equivalence,
             max_ulps=max_ulps)
         return (result.output(self.model.output_name), per_trial_faults,

@@ -1,0 +1,188 @@
+"""Persistent campaign worker pool for back-to-back experiment sweeps.
+
+Experiment grids (the fig6 / fig9 / fig11-style sweeps) run many campaigns
+back-to-back, and the per-campaign multiprocess backend of
+:meth:`~repro.injection.campaign.FaultInjectionCampaign.run` pays two fixed
+costs every time: spawning a fresh process pool and, in each worker, a full
+campaign rebuild (model unpickle, state-space profiling, golden-output
+pass, lazy golden activation caches).  :class:`CampaignPool` keeps one
+process pool alive for the whole sweep and caches rebuilt campaigns
+*inside* the workers, keyed by a content fingerprint of the campaign spec —
+so every campaign after the first that shares a (model, inputs, fault
+model, criteria, dtype policy, seed) skips both costs, and even distinct
+campaigns skip the pool spawn.
+
+The spec still travels with every task (a task cannot target a specific
+worker), but unpickling a spec is orders of magnitude cheaper than the
+rebuild it replaces; on a cache hit the worker drops it immediately.
+
+**Determinism.**  A pooled run ships the same pre-sampled plan payloads and
+per-trial RNG anchors as the fresh multiprocess path, and the worker-side
+campaign is a pure function of its spec (reuse only skips recomputing that
+pure function), so pooled results are **bit-identical** to fresh
+per-campaign runs for every pool size and reuse pattern — enforced by
+``tests/test_union_cone_batching.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
+from .campaign import (CampaignResult, CampaignSpec, FaultInjectionCampaign,
+                       shard_plans)
+from .injector import InjectionPlan
+
+#: Rebuilt campaigns kept alive per worker process, most recently used
+#: last.  Sweeps interleave at most a handful of distinct campaign configs
+#: (model × datatype × protection), so a small cache captures the reuse
+#: while bounding worker memory (each entry holds a model plus its golden
+#: caches).
+WORKER_CAMPAIGN_CACHE_LIMIT = 4
+
+#: Per-worker campaign cache (lives in the *worker* processes; the parent's
+#: copy stays empty).
+_WORKER_CAMPAIGNS: "OrderedDict[str, FaultInjectionCampaign]" = OrderedDict()
+
+
+def _run_pooled_shard(fingerprint: str, spec: CampaignSpec,
+                      payload: Sequence[Tuple[int, Sequence[Tuple[str, int]]]],
+                      trial_offset: int, keep_faults: bool,
+                      incremental: bool, batch_trials: int,
+                      equivalence: Optional[str],
+                      max_ulps: float) -> CampaignResult:
+    """Pooled worker entry: reuse (or rebuild and cache) the campaign, then
+    run one shard of trials exactly like ``_run_campaign_shard``."""
+    campaign = _WORKER_CAMPAIGNS.get(fingerprint)
+    if campaign is None:
+        campaign = spec.build()
+        _WORKER_CAMPAIGNS[fingerprint] = campaign
+        while len(_WORKER_CAMPAIGNS) > WORKER_CAMPAIGN_CACHE_LIMIT:
+            _WORKER_CAMPAIGNS.popitem(last=False)
+    else:
+        _WORKER_CAMPAIGNS.move_to_end(fingerprint)
+    plans = [(input_index, InjectionPlan.from_payload(sites))
+             for input_index, sites in payload]
+    return campaign.run(plans=plans, keep_faults=keep_faults,
+                        incremental=incremental, trial_offset=trial_offset,
+                        batch_trials=batch_trials, equivalence=equivalence,
+                        max_ulps=max_ulps)
+
+
+class CampaignPool:
+    """A persistent worker pool shared by many fault-injection campaigns.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes kept alive for the pool's lifetime.
+
+    Usage::
+
+        with CampaignPool(workers=4) as pool:
+            for config in sweep:                  # fig6/fig9/fig11 grids
+                campaign = build_campaign(config)
+                result = campaign.run(trials=3000, pool=pool)
+
+    The pool composes with everything ``run`` supports in its multiprocess
+    backend (``batch_trials``, ``keep_faults``, paired comparisons via
+    ``compare_protection(pool=...)``); only ``workers`` is superseded by
+    the pool's size.
+    """
+
+    def __init__(self, workers: int,
+                 context: Optional[multiprocessing.context.BaseContext] = None,
+                 ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        if context is None:
+            # fork (where available) keeps worker start-up cheap, matching
+            # the fresh multiprocess backend's choice.
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - Windows / macOS spawn-only hosts
+                context = multiprocessing.get_context()
+        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._executor is None
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "CampaignPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(spec: CampaignSpec) -> str:
+        """Content fingerprint of a campaign spec (golden caches excluded).
+
+        Workers key their campaign cache on this, so two campaign *objects*
+        built from the same configuration share one worker-side rebuild.  A
+        spurious mismatch merely costs a rebuild; a false match would need
+        a SHA-1 collision on the pickled configuration.
+        """
+        payload = pickle.dumps((spec.model, spec.inputs, spec.fault_model,
+                                spec.criteria, spec.dtype_policy, spec.seed),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        return hashlib.sha1(payload).hexdigest()
+
+    def run_plans(self, campaign: FaultInjectionCampaign,
+                  plans: List[Tuple[int, InjectionPlan]], *,
+                  keep_faults: bool = False,
+                  incremental: bool = True,
+                  trial_offset: int = 0,
+                  batch_trials: int = 1,
+                  equivalence=None,
+                  max_ulps: float = DEFAULT_MAX_ULPS) -> CampaignResult:
+        """Fan pre-sampled plans out across the persistent workers.
+
+        The entry point :meth:`FaultInjectionCampaign.run` delegates to
+        when called with ``pool=...``; mirrors the fresh multiprocess
+        backend shard-for-shard (same contiguous chunks, same trial-offset
+        RNG anchoring, same order-insensitive merge).
+        """
+        if self._executor is None:
+            raise RuntimeError("CampaignPool is closed")
+        spec = campaign.spec()
+        fingerprint = self.fingerprint(spec)
+        shards = shard_plans(plans, self.workers)
+        payloads = [(offset, [(index, plan.to_payload())
+                              for index, plan in chunk])
+                    for offset, chunk in shards]
+        mode_value = (EquivalenceMode.coerce(
+            equivalence, EquivalenceMode.EXACT if batch_trials == 1
+            else EquivalenceMode.ULP_TOLERANT).value
+            if equivalence is not None else None)
+        futures = [self._executor.submit(
+            _run_pooled_shard, fingerprint, spec, chunk,
+            trial_offset + offset, keep_faults, incremental, batch_trials,
+            mode_value, max_ulps)
+            for offset, chunk in payloads]
+        return CampaignResult.merge([future.result() for future in futures])
+
+    def run(self, campaign: FaultInjectionCampaign, trials: int = 100,
+            plans: Optional[List[Tuple[int, InjectionPlan]]] = None,
+            **kwargs) -> CampaignResult:
+        """Convenience wrapper: sample plans (if needed) and fan them out."""
+        if plans is None:
+            plans = campaign.generate_plans(trials)
+        return self.run_plans(campaign, plans, **kwargs)

@@ -87,8 +87,34 @@ class FixedPointFormat:
         return np.asarray(codes, dtype=np.float64) * self.scale
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
-        """Round real values onto the representable grid (encode + decode)."""
-        return self.decode(self.encode(values))
+        """Round real values onto the representable grid (encode + decode).
+
+        Fused float-only fast path for the executor's per-output policy
+        application (the hottest loop of every fixed-point campaign): the
+        scale is a power of two and, for formats up to 53 total bits,
+        every code fits float64's mantissa, so round/saturate/rescale in
+        float64 matches the int64 round-trip value-for-value — minus two
+        dtype conversions and two temporaries per call.  Wider formats
+        (54..64 bits, where float64 cannot hold every code exactly) keep
+        the exact int64 round-trip.  (``np.rint`` and ``np.round`` both round
+        half to even.)  Two deliberate bit-level divergences from the old
+        path, both fine because every execution path quantizes through this
+        one function: NaN stays NaN instead of decaying to whatever
+        ``astype(int64)`` turns it into, and ``-0.0`` keeps its sign
+        instead of being laundered through integer 0 (``-0.0 == 0.0``
+        everywhere it is compared, and :meth:`encode` still maps it to
+        code 0 for bit flips).
+        """
+        if self.total_bits > 53:  # codes exceed float64's exact-int range
+            return self.decode(self.encode(values))
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty_like(values)
+        np.multiply(values, 1.0 / self.scale, out=out)
+        np.rint(out, out=out)
+        np.clip(out, -(2 ** (self.total_bits - 1)),
+                2 ** (self.total_bits - 1) - 1, out=out)
+        out *= self.scale
+        return out
 
     def representable(self, values: np.ndarray, atol: float = 1e-9) -> np.ndarray:
         """Boolean mask of values already exactly on the grid and in range."""
