@@ -1,0 +1,159 @@
+"""Sparse elementwise delta representation for the replay engine.
+
+A single-bit fault changes exactly one stored element, and long stretches of
+the evaluated networks are purely elementwise (activations, inference-mode
+BatchNorm, clipping, quantization, reshapes).  Instead of re-evaluating whole
+arrays along the fault's downstream cone, the executor can carry the dirty
+frontier as *(flat index, new value)* pairs relative to the golden activation
+cache, apply each :attr:`~repro.ops.base.Operator.elementwise_exact` operator
+to just those elements, and densify only at the first operator that mixes
+elements (conv / matmul / pooling / softmax).
+
+Everything here is bitwise: sparse application uses the same IEEE-754 scalar
+operations the dense forward pass performs on those elements, and dirtiness is
+tracked per element with an integer view comparison (the per-element analogue
+of :func:`~repro.graph.executor.bit_identical`), so sparse replay reproduces
+the dense incremental path's fault records and verdicts exactly — including
+under ``EquivalenceMode.EXACT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+#: Maximum dirty fraction of a row for which sparse application is attempted.
+#: Above this density the gather/scatter bookkeeping costs more than simply
+#: re-evaluating the row dense, so the executor falls back.  An eighth of a
+#: row is conservative: fault deltas start at a handful of elements and only
+#: approach this after a densifying operator re-sparsifies a wide diff.
+SPARSE_DENSITY_THRESHOLD = 0.125
+
+#: Minimum number of dense elements a sparse node evaluation must displace
+#: (dirty rows x row size) before the sparse path is taken.  Sparse
+#: application pays a fixed per-node bookkeeping cost (index gathers,
+#: parameter broadcasts, the per-element retirement compare) of a few dozen
+#: small numpy calls; on a small activation row that costs more than the
+#: overhead-dominated dense re-evaluation it replaces, so batch-1 replays of
+#: small models should stay dense while batched replays (whose displaced work
+#: is ``dirty_rows`` times larger) go sparse.  Tunable per executor via
+#: :attr:`~repro.graph.executor.Executor.sparse_min_gain_elements`; set it to
+#: ``0`` to force the sparse path wherever it is representable (the
+#: equivalence suites do, to pin the mechanics on tiny graphs).
+SPARSE_MIN_GAIN_ELEMENTS = 1 << 15
+
+
+def bitwise_neq(a: Array, b: Array) -> Array:
+    """Elementwise "bits differ" comparison of two float64 arrays.
+
+    The per-element analogue of :func:`~repro.graph.executor.bit_identical`:
+    ``-0.0`` and ``0.0`` compare *different* (they are distinct stored words a
+    later bit flip could land on) and equal-payload NaNs compare *equal*.
+    Shapes must be broadcast-compatible; the trailing axis is compared
+    bit-for-bit through an int64 view.
+    """
+    a64 = np.ascontiguousarray(a, dtype=np.float64).view(np.int64)
+    b64 = np.ascontiguousarray(b, dtype=np.float64).view(np.int64)
+    return a64 != b64
+
+
+def gather_param(param: Array, row_shape: Tuple[int, ...],
+                 indices: Array) -> Array:
+    """Gather a batch-invariant parameter at row-flat ``indices``.
+
+    ``param`` is broadcast against the consumer's row shape exactly as the
+    dense forward pass would broadcast it (a ``(channels,)`` bias against an
+    ``(H, W, channels)`` activation row), then sampled at the changed
+    positions.  Views only — nothing is materialized at full size.
+    """
+    view = np.broadcast_to(np.asarray(param), tuple(row_shape))
+    if view.ndim == 0:
+        return np.full(indices.shape, view[()])
+    return view[np.unravel_index(indices, view.shape)]
+
+
+@dataclass
+class SparseRows:
+    """A per-row sparse delta over a stacked batch of trial rows.
+
+    The flat-triplet form of the dirty frontier at one node: element ``k``
+    says "row ``rows[k]`` of the batch differs from the golden activation at
+    C-order row-flat position ``indices[k]``, where its value is
+    ``values[k]``".  Triplets are sorted lexicographically by ``(row,
+    index)`` with no duplicates, so per-row slices are contiguous and two
+    deltas merge with a single :func:`numpy.lexsort`.
+
+    ``batch`` is the number of rows in the stacked evaluation the delta
+    belongs to; rows absent from ``rows`` are bit-identical to golden.
+    """
+
+    batch: int
+    rows: Array
+    indices: Array
+    values: Array
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+
+    def validate(self, row_size: int) -> None:
+        """Check invariants (lengths, bounds, strict (row, index) order)."""
+        if not (self.rows.shape == self.indices.shape == self.values.shape):
+            raise ValueError("SparseRows triplet arrays must share one length")
+        if self.rows.ndim != 1:
+            raise ValueError("SparseRows triplet arrays must be 1-D")
+        if self.rows.size == 0:
+            return
+        if int(self.rows.min()) < 0 or int(self.rows.max()) >= self.batch:
+            raise ValueError(
+                f"SparseRows row ids out of range for batch {self.batch}")
+        if int(self.indices.min()) < 0 or int(self.indices.max()) >= row_size:
+            raise ValueError(
+                f"SparseRows indices out of range for row size {row_size}")
+        row_step = self.rows[1:] > self.rows[:-1]
+        idx_step = ((self.rows[1:] == self.rows[:-1])
+                    & (self.indices[1:] > self.indices[:-1]))
+        if not bool(np.all(row_step | idx_step)):
+            raise ValueError(
+                "SparseRows triplets must be strictly sorted by (row, index)")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    def row_mask(self) -> Array:
+        """Boolean mask over the batch of rows carrying at least one element."""
+        mask = np.zeros(self.batch, dtype=bool)
+        mask[self.rows] = True
+        return mask
+
+    def nnz_by_row(self) -> Array:
+        """Number of changed elements per batch row."""
+        return np.bincount(self.rows, minlength=self.batch)
+
+    def restrict(self, keep: Array) -> "SparseRows":
+        """The sub-delta of rows selected by boolean batch mask ``keep``."""
+        sel = keep[self.rows]
+        if sel.all():
+            return self
+        return SparseRows(self.batch, self.rows[sel], self.indices[sel],
+                          self.values[sel])
+
+
+def merge_sorted_triplets(
+        parts: Sequence[Tuple[Array, Array, Array]],
+) -> Tuple[Array, Array, Array]:
+    """Merge (rows, indices, values) triplets into one (row, index)-sorted
+    triplet.  Parts must cover disjoint (row, index) positions."""
+    if len(parts) == 1:
+        return parts[0]
+    rows = np.concatenate([p[0] for p in parts])
+    idx = np.concatenate([p[1] for p in parts])
+    vals = np.concatenate([p[2] for p in parts])
+    order = np.lexsort((idx, rows))
+    return rows[order], idx[order], vals[order]

@@ -181,6 +181,27 @@ class CampaignResult:
     batch_count: int = 0
     batched_trials: int = 0
     union_overhead_nodes: int = 0
+    #: Sparse-delta accounting (all 0 when the campaign ran with
+    #: ``sparse_delta=False`` or in full mode): ``elements_evaluated``
+    #: output elements the replays actually computed,
+    #: ``elements_full`` what dense evaluation of the same node visits
+    #: would have computed, and ``dense_fallback_nodes`` how many node
+    #: evaluations had to scatter a sparse frontier into a dense array
+    #: (the densification boundary — conv/matmul/pooling consumers).
+    elements_evaluated: int = 0
+    elements_full: int = 0
+    dense_fallback_nodes: int = 0
+
+    @property
+    def sparse_evaluated_fraction(self) -> Optional[float]:
+        """Fraction of dense-equivalent element work the sparse path skipped.
+
+        ``1 - elements_evaluated / elements_full`` over every sparse-active
+        replay; ``None`` when no replay ran with sparse accounting.
+        """
+        if self.elements_full == 0:
+            return None
+        return 1.0 - self.elements_evaluated / self.elements_full
 
     @property
     def mean_batch_occupancy(self) -> Optional[float]:
@@ -271,6 +292,9 @@ class CampaignResult:
             batch_count=sum(s.batch_count for s in shards),
             batched_trials=sum(s.batched_trials for s in shards),
             union_overhead_nodes=sum(s.union_overhead_nodes for s in shards),
+            elements_evaluated=sum(s.elements_evaluated for s in shards),
+            elements_full=sum(s.elements_full for s in shards),
+            dense_fallback_nodes=sum(s.dense_fallback_nodes for s in shards),
         )
 
     def summary(self) -> str:
@@ -284,6 +308,13 @@ class CampaignResult:
                 f"{self.batch_count} batches, mean occupancy "
                 f"{self.mean_batch_occupancy:.1f} rows/batch, union-cone "
                 f"overhead {self.union_overhead_nodes} nodes")
+        if self.elements_full:
+            lines.append(
+                f"  sparse deltas: {100.0 * self.sparse_evaluated_fraction:.1f}% "
+                f"of element work skipped "
+                f"({self.elements_evaluated}/{self.elements_full} elements "
+                f"evaluated, {self.dense_fallback_nodes} dense-fallback "
+                f"node evals)")
         for criterion in self.criteria:
             count = self.sdc_counts[criterion]
             lines.append(
@@ -425,6 +456,7 @@ class FaultInjectionCampaign:
             packing: Optional[Tuple[List[Tuple[int, List[int]]],
                                     List[int]]] = None,
             pool: Optional["CampaignPool"] = None,
+            sparse_delta: bool = True,
             ) -> CampaignResult:
         """Run the campaign and return aggregated SDC statistics.
 
@@ -488,6 +520,18 @@ class FaultInjectionCampaign:
             campaigns then reuse the workers' models and golden caches.
             Results are bit-identical either way; ``workers`` is ignored
             in favour of the pool's size.
+        sparse_delta:
+            When True (default), incremental and batched replays seed the
+            executor with the corrupted bit *positions* (a sparse delta
+            over the golden cache) instead of whole corrupted activation
+            copies; elementwise-exact stretches of the fault cone then
+            evaluate only the changed elements.  Fault records and verdicts
+            are identical either way (bit-identical for the batch-1 paths);
+            the knob exists for benchmarking and as an escape hatch.  The
+            result's ``elements_evaluated`` / ``elements_full`` /
+            ``dense_fallback_nodes`` counters (and
+            ``sparse_evaluated_fraction``) quantify what the sparse path
+            saved.  Ignored by the full (``incremental=False``) path.
         """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
@@ -517,7 +561,8 @@ class FaultInjectionCampaign:
                                   incremental=incremental,
                                   trial_offset=trial_offset,
                                   batch_trials=batch_trials,
-                                  equivalence=mode, max_ulps=max_ulps)
+                                  equivalence=mode, max_ulps=max_ulps,
+                                  sparse_delta=sparse_delta)
         if workers > 1 and len(plans) > 1:
             return self._run_parallel(plans, workers=workers,
                                       keep_faults=keep_faults,
@@ -526,13 +571,15 @@ class FaultInjectionCampaign:
                                       batch_trials=batch_trials,
                                       equivalence=mode,
                                       max_ulps=max_ulps,
-                                      cache_budget_bytes=cache_budget_bytes)
+                                      cache_budget_bytes=cache_budget_bytes,
+                                      sparse_delta=sparse_delta)
         if batch_trials > 1:
             return self._run_batched(plans, batch_trials=batch_trials,
                                      keep_faults=keep_faults,
                                      trial_offset=trial_offset,
                                      mode=mode, max_ulps=max_ulps,
-                                     packing=packing)
+                                     packing=packing,
+                                     sparse_delta=sparse_delta)
         sdc_counts = {criterion.name: 0 for criterion in self.criteria}
         fault_log: List[List[FaultSpec]] = []
         # Per-trial cost of the full path: the ancestor-pruned subgraph it
@@ -540,6 +587,9 @@ class FaultInjectionCampaign:
         full_cost = len(self.model.graph.ancestors([self.model.output_name]))
         nodes_recomputed = 0
         nodes_full = 0
+        elements_evaluated = 0
+        elements_full = 0
+        dense_fallbacks = 0
 
         for position, (input_index, plan) in enumerate(plans):
             rng = trial_rng(self.seed, trial_offset + position)
@@ -547,9 +597,13 @@ class FaultInjectionCampaign:
             if incremental:
                 cache = self._golden_cache(input_index)
                 faulty, faults, result = self.injector.inject_cached(
-                    self._executor, cache, plan, rng=rng)
+                    self._executor, cache, plan, rng=rng,
+                    sparse_delta=sparse_delta)
                 nodes_recomputed += len(result.recomputed or ())
                 nodes_full += full_cost
+                elements_evaluated += result.elements_evaluated
+                elements_full += result.elements_full
+                dense_fallbacks += result.dense_fallback_nodes
             else:
                 batch = self.inputs[input_index:input_index + 1]
                 faulty, faults = self.injector.inject(self._executor, batch,
@@ -566,7 +620,10 @@ class FaultInjectionCampaign:
                               faults=fault_log,
                               nodes_recomputed=nodes_recomputed,
                               nodes_full=nodes_full,
-                              equivalence=mode.value)
+                              equivalence=mode.value,
+                              elements_evaluated=elements_evaluated,
+                              elements_full=elements_full,
+                              dense_fallback_nodes=dense_fallbacks)
 
     # -- batched scheduling ------------------------------------------------
 
@@ -716,6 +773,7 @@ class FaultInjectionCampaign:
                      mode: EquivalenceMode, max_ulps: float,
                      packing: Optional[Tuple[List[Tuple[int, List[int]]],
                                              List[int]]] = None,
+                     sparse_delta: bool = True,
                      ) -> CampaignResult:
         """Serial batched backend: replay packed trials in stacked passes.
 
@@ -733,6 +791,9 @@ class FaultInjectionCampaign:
         max_deviation = 0.0
         batched_trials = 0
         union_overhead = 0
+        elements_evaluated = 0
+        elements_full = 0
+        dense_fallbacks = 0
 
         batches, fallback = (packing if packing is not None
                              else self.pack_batches(plans, batch_trials))
@@ -745,9 +806,13 @@ class FaultInjectionCampaign:
             stacked, faults, result = self.injector.inject_cached_batch(
                 self._executor, cache, batch_plans, rngs,
                 equivalence=mode, max_ulps=max_ulps,
-                validate_overlap=False)  # the packer already screened
+                validate_overlap=False,  # the packer already screened
+                sparse_delta=sparse_delta)
             nodes_recomputed += result.rows_evaluated
             max_deviation = max(max_deviation, result.max_ulp_deviation)
+            elements_evaluated += result.elements_evaluated
+            elements_full += result.elements_full
+            dense_fallbacks += result.dense_fallback_nodes
             batched_trials += len(positions)
             union_overhead += self._union_overhead(positions, plans)
             for criterion in self.criteria:
@@ -761,8 +826,12 @@ class FaultInjectionCampaign:
             rng = trial_rng(self.seed, trial_offset + position)
             cache = self._golden_cache(input_index)
             faulty, faults, result = self.injector.inject_cached(
-                self._executor, cache, plan, rng=rng)
+                self._executor, cache, plan, rng=rng,
+                sparse_delta=sparse_delta)
             nodes_recomputed += len(result.recomputed or ())
+            elements_evaluated += result.elements_evaluated
+            elements_full += result.elements_full
+            dense_fallbacks += result.dense_fallback_nodes
             for criterion in self.criteria:
                 if criterion.is_sdc(self._golden[input_index], faulty):
                     sdc_counts[criterion.name] += 1
@@ -779,7 +848,10 @@ class FaultInjectionCampaign:
                               max_ulp_deviation=max_deviation,
                               batch_count=len(batches),
                               batched_trials=batched_trials,
-                              union_overhead_nodes=union_overhead)
+                              union_overhead_nodes=union_overhead,
+                              elements_evaluated=elements_evaluated,
+                              elements_full=elements_full,
+                              dense_fallback_nodes=dense_fallbacks)
 
     def ship_golden_caches(self, spec: "CampaignSpec",
                            plans: Sequence[Tuple[int, InjectionPlan]],
@@ -820,6 +892,7 @@ class FaultInjectionCampaign:
                       equivalence: Optional[EquivalenceMode] = None,
                       max_ulps: float = DEFAULT_MAX_ULPS,
                       cache_budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+                      sparse_delta: bool = True,
                       ) -> CampaignResult:
         """Fan ``plans`` out across ``workers`` processes and merge the shards.
 
@@ -851,7 +924,7 @@ class FaultInjectionCampaign:
             futures = [pool.submit(_run_campaign_shard, spec, chunk,
                                    trial_offset + offset, keep_faults,
                                    incremental, batch_trials, mode_value,
-                                   max_ulps)
+                                   max_ulps, sparse_delta)
                        for offset, chunk in payloads]
             partials = [future.result() for future in futures]
         return CampaignResult.merge(partials)
@@ -902,7 +975,8 @@ def _run_campaign_shard(spec: CampaignSpec,
                         trial_offset: int, keep_faults: bool,
                         incremental: bool, batch_trials: int = 1,
                         equivalence: Optional[str] = None,
-                        max_ulps: float = DEFAULT_MAX_ULPS) -> CampaignResult:
+                        max_ulps: float = DEFAULT_MAX_ULPS,
+                        sparse_delta: bool = True) -> CampaignResult:
     """Worker entry point: rebuild the campaign and run one shard of trials.
 
     Module-level (not a closure) so it pickles under every multiprocessing
@@ -916,7 +990,7 @@ def _run_campaign_shard(spec: CampaignSpec,
     return campaign.run(plans=plans, keep_faults=keep_faults,
                         incremental=incremental, trial_offset=trial_offset,
                         batch_trials=batch_trials, equivalence=equivalence,
-                        max_ulps=max_ulps)
+                        max_ulps=max_ulps, sparse_delta=sparse_delta)
 
 
 def compare_protection(unprotected: Model, protected: Model,
@@ -930,6 +1004,7 @@ def compare_protection(unprotected: Model, protected: Model,
                        batch_trials: int = 1,
                        equivalence=None,
                        pool: Optional["CampaignPool"] = None,
+                       sparse_delta: bool = True,
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
@@ -961,7 +1036,8 @@ def compare_protection(unprotected: Model, protected: Model,
         packing = base.pack_batches(plans, batch_trials)
     return (base.run(plans=plans, incremental=incremental, workers=workers,
                      batch_trials=batch_trials, equivalence=equivalence,
-                     packing=packing, pool=pool),
+                     packing=packing, pool=pool, sparse_delta=sparse_delta),
             guarded.run(plans=plans, incremental=incremental, workers=workers,
                         batch_trials=batch_trials, equivalence=equivalence,
-                        packing=packing, pool=pool))
+                        packing=packing, pool=pool,
+                        sparse_delta=sparse_delta))

@@ -55,7 +55,8 @@ def _run_pooled_shard(fingerprint: str, spec: CampaignSpec,
                       trial_offset: int, keep_faults: bool,
                       incremental: bool, batch_trials: int,
                       equivalence: Optional[str],
-                      max_ulps: float) -> CampaignResult:
+                      max_ulps: float,
+                      sparse_delta: bool = True) -> CampaignResult:
     """Pooled worker entry: reuse (or rebuild and cache) the campaign, then
     run one shard of trials exactly like ``_run_campaign_shard``."""
     campaign = _WORKER_CAMPAIGNS.get(fingerprint)
@@ -71,7 +72,7 @@ def _run_pooled_shard(fingerprint: str, spec: CampaignSpec,
     return campaign.run(plans=plans, keep_faults=keep_faults,
                         incremental=incremental, trial_offset=trial_offset,
                         batch_trials=batch_trials, equivalence=equivalence,
-                        max_ulps=max_ulps)
+                        max_ulps=max_ulps, sparse_delta=sparse_delta)
 
 
 class CampaignPool:
@@ -152,7 +153,8 @@ class CampaignPool:
                   trial_offset: int = 0,
                   batch_trials: int = 1,
                   equivalence=None,
-                  max_ulps: float = DEFAULT_MAX_ULPS) -> CampaignResult:
+                  max_ulps: float = DEFAULT_MAX_ULPS,
+                  sparse_delta: bool = True) -> CampaignResult:
         """Fan pre-sampled plans out across the persistent workers.
 
         The entry point :meth:`FaultInjectionCampaign.run` delegates to
@@ -175,7 +177,7 @@ class CampaignPool:
         futures = [self._executor.submit(
             _run_pooled_shard, fingerprint, spec, chunk,
             trial_offset + offset, keep_faults, incremental, batch_trials,
-            mode_value, max_ulps)
+            mode_value, max_ulps, sparse_delta)
             for offset, chunk in payloads]
         return CampaignResult.merge([future.result() for future in futures])
 

@@ -31,6 +31,15 @@ class Activation(Operator):
 
     category = "activation"
 
+    #: Elementwise-exactness audit: every activation below is a pure
+    #: per-element composition of numpy ufuncs (maximum / where / exp /
+    #: tanh / arctan and scalar arithmetic), whose result bits on a gathered
+    #: 1-D subset match the full-array evaluation element-for-element, so
+    #: the default shape-agnostic :meth:`~repro.ops.base.Operator.sparse_forward`
+    #: applies.  ``Softmax`` is *not* an Activation and stays dense (its row
+    #: normalization couples every element of the class axis).
+    elementwise_exact = True
+
     #: (low, high) if mathematically bounded, else None.
     inherent_bounds: Optional[Tuple[float, float]] = None
 
@@ -157,6 +166,9 @@ class Softmax(Operator):
     """
 
     category = "output"
+    #: Not elementwise-exact: the max-shift and sum normalization couple
+    #: every element of the class axis, so sparse deltas densify here.
+    elementwise_exact = False
 
     def forward(self, x: Array) -> Array:
         shifted = x - np.max(x, axis=-1, keepdims=True)

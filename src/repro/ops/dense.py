@@ -24,6 +24,10 @@ class MatMul(Operator):
     ``(in_features, out_features)``.
     """
 
+    #: Not elementwise-exact: every output element is a reduction over the
+    #: whole input row, so sparse deltas densify here.
+    elementwise_exact = False
+
     def forward(self, x: Array, w: Array) -> Array:
         if x.ndim != 2 or w.ndim != 2:
             raise OperatorError(
@@ -45,10 +49,18 @@ class MatMul(Operator):
 class BiasAdd(Operator):
     """Adds a bias vector to the last axis of the input."""
 
+    elementwise_exact = True
+
     def forward(self, x: Array, b: Array) -> Array:
         if b.ndim != 1 or x.shape[-1] != b.shape[0]:
             raise OperatorError(
                 f"BiasAdd shape mismatch: input {x.shape}, bias {b.shape}")
+        return x + b
+
+    def sparse_forward(self, indices: Array, x: Array, b: Array) -> Array:
+        # The bias arrives gathered to the changed positions (the same
+        # last-axis broadcast the dense pass applies), so forward()'s shape
+        # guard must not run against the 1-D gathered operands.
         return x + b
 
     def backward(self, grad, inputs, output):
@@ -62,6 +74,8 @@ class BiasAdd(Operator):
 class Add(Operator):
     """Element-wise addition (used by ResNet shortcut connections)."""
 
+    elementwise_exact = True
+
     def forward(self, a: Array, b: Array) -> Array:
         return a + b
 
@@ -73,6 +87,8 @@ class Add(Operator):
 class Multiply(Operator):
     """Element-wise multiplication."""
 
+    elementwise_exact = True
+
     def forward(self, a: Array, b: Array) -> Array:
         return a * b
 
@@ -83,6 +99,8 @@ class Multiply(Operator):
 
 class Scale(Operator):
     """Multiplication by a compile-time scalar constant."""
+
+    elementwise_exact = True
 
     def __init__(self, factor: float) -> None:
         self.factor = float(factor)
@@ -102,6 +120,9 @@ class Minimum(Operator):
 
     category = "protection"
     injectable = False
+    #: Per-element comparison against a broadcast bound; the executor
+    #: gathers the bound at the changed positions.
+    elementwise_exact = True
 
     def forward(self, x: Array, bound: Array) -> Array:
         return np.minimum(x, bound)
@@ -117,6 +138,9 @@ class Maximum(Operator):
 
     category = "protection"
     injectable = False
+    #: Per-element comparison against a broadcast bound; the executor
+    #: gathers the bound at the changed positions.
+    elementwise_exact = True
 
     def forward(self, x: Array, bound: Array) -> Array:
         return np.maximum(x, bound)
@@ -132,6 +156,8 @@ class ClipByValue(Operator):
 
     category = "protection"
     injectable = False
+    #: Per-element clip against compile-time scalar bounds.
+    elementwise_exact = True
 
     def __init__(self, low: float, high: float) -> None:
         if low > high:

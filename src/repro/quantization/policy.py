@@ -30,6 +30,13 @@ class FixedPointPolicy(DTypePolicy):
         being studied.
     """
 
+    #: :meth:`FixedPointFormat.quantize` is a per-element round/saturate
+    #: (multiply, rint, clip, multiply — pure IEEE elementwise, idempotent
+    #: on grid values), and :meth:`apply`'s category skip depends only on
+    #: the node, so the sparse replay may quantize just the changed
+    #: elements bit-exactly.
+    elementwise_exact = True
+
     def __init__(self, fmt: FixedPointFormat,
                  skip_categories: Optional[Set[str]] = None) -> None:
         self.fmt = fmt

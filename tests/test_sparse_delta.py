@@ -1,0 +1,538 @@
+"""Equivalence suite for sparse elementwise delta propagation.
+
+PR 6 teaches the replay engine to carry the dirty frontier as a per-row
+sparse delta (flat indices + new values on top of the golden cache)
+instead of dense replacement rows: elementwise-exact operators apply
+their forward to just the changed elements, index-remap operators
+(reshape / flatten / concat) relocate the indices without touching
+values, and the first non-elementwise consumer scatters the delta into a
+dense copy and proceeds as before.  The guarantees under test:
+
+1. **Bit-identity with the dense incremental path.**  A sparse seed at a
+   node is indistinguishable from installing the equivalent dense
+   override — outputs, fault records and verdicts match byte-for-byte in
+   batch-1 replays (EXACT mode included), across the zoo subset ×
+   {fixed16, fixed32} × {unprotected, Ranger}.
+2. **The density threshold is a fallback, not a cliff.**  Deltas denser
+   than ``SPARSE_DENSITY_THRESHOLD`` densify immediately and the replay
+   still matches the dense path bit-for-bit.
+3. **Index remaps relocate deltas exactly** through reshape/flatten
+   (identity remap) and feature-axis concat (offset remap).
+4. **Densify-then-resparsify** survives model-scale skip connections:
+   on ResNet-18 the sparse path re-engages after every convolution and
+   the campaign verdicts match the dense path.
+5. **Accounting is additive and honest.**  ``elements_evaluated`` /
+   ``elements_full`` / ``dense_fallback_nodes`` merge across shards,
+   surface in ``summary()``, and stay zero on legacy dense runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.core import Ranger
+from repro.graph import (
+    SPARSE_DENSITY_THRESHOLD,
+    SPARSE_MIN_GAIN_ELEMENTS,
+    EquivalenceMode,
+    Executor,
+    Graph,
+    GraphError,
+    SparseRows,
+)
+from repro.injection import (
+    CampaignResult,
+    FaultInjectionCampaign,
+    FaultInjector,
+    SingleBitFlip,
+    trial_rng,
+)
+from repro.injection.injector import InjectionPlan
+from repro.models import prepare_model
+from repro.quantization import FIXED32, fixed16_policy, fixed32_policy
+
+ZOO_SUBSET = ("lenet", "squeezenet")
+TRIALS = 32
+DTYPE_POLICIES = {"fixed16": fixed16_policy, "fixed32": fixed32_policy}
+
+# 64-element rows: a 1-element delta sits at 1.6% density, far under the
+# 12.5% threshold, so the sparse path engages on every hand-built graph.
+# (The mechanics tests zero the executor's cost-model floor,
+# ``sparse_min_gain_elements`` — production replays only go sparse when
+# the displaced dense work is large enough to amortize the bookkeeping,
+# and 64-element rows never are.)
+WIDTH = 64
+
+
+def sparse_executor(graph):
+    """An executor with the sparse cost-model floor disabled, so the
+    sparse path engages on WIDTH-element rows."""
+    executor = Executor(graph)
+    executor.sparse_min_gain_elements = 0
+    return executor
+
+
+@pytest.fixture(scope="module", params=ZOO_SUBSET)
+def subset_prepared(request):
+    return prepare_model(request.param, train=False, seed=1)
+
+
+@pytest.fixture(scope="module")
+def resnet_prepared():
+    return prepare_model("resnet18", train=False, seed=1)
+
+
+def feed_vector(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"x": rng.normal(size=(1, WIDTH))}
+
+
+def elementwise_chain():
+    """x -> scale -> relu -> scale -> out: every hop is elementwise."""
+    g = Graph("sparse-chain")
+    g.add("x", ops.Placeholder(name="x", shape=(WIDTH,)))
+    g.add("a", ops.Scale(1.5), inputs=["x"])
+    g.add("b", ops.ReLU(), inputs=["a"])
+    g.add("c", ops.Scale(0.5), inputs=["b"])
+    g.add("out", ops.Identity(), inputs=["c"])
+    g.mark_output("out")
+    return g
+
+
+def remap_graph():
+    """Reshape and a feature-axis concat between the entry and the output:
+    the delta must ride both index remaps without densifying."""
+    g = Graph("sparse-remap")
+    g.add("x", ops.Placeholder(name="x", shape=(WIDTH,)))
+    g.add("left", ops.Scale(2.0), inputs=["x"])
+    g.add("grid", ops.Reshape((8, 8)), inputs=["left"])
+    g.add("flat", ops.Flatten(), inputs=["grid"])
+    g.add("right", ops.Scale(-1.0), inputs=["x"])
+    g.add("join", ops.Concatenate(axis=-1), inputs=["flat", "right"])
+    g.add("out", ops.ReLU(), inputs=["join"])
+    g.mark_output("out")
+    return g
+
+
+def densify_graph():
+    """An elementwise prefix feeding a softmax: softmax is not
+    elementwise-exact, so the delta must densify exactly there."""
+    g = Graph("sparse-densify")
+    g.add("x", ops.Placeholder(name="x", shape=(WIDTH,)))
+    g.add("a", ops.Scale(1.25), inputs=["x"])
+    g.add("b", ops.ReLU(), inputs=["a"])
+    g.add("soft", ops.Softmax(), inputs=["b"])
+    g.add("out", ops.Identity(), inputs=["soft"])
+    g.mark_output("out")
+    return g
+
+
+def sparse_vs_dense(graph, name, indices, deltas, feed):
+    """Replay one corruption both ways and return the two results.
+
+    ``indices``/``deltas`` describe the sparse seed; the dense reference
+    installs the equivalent full override via ``dirty_values``.
+    """
+    executor = sparse_executor(graph)
+    cache = executor.run(feed).values
+    golden = np.asarray(cache[name])
+    idx = np.asarray(indices, dtype=np.int64)
+    vals = np.asarray(deltas, dtype=np.float64)
+    dense = np.array(golden)
+    dense.reshape(-1)[idx] = vals
+    sparse = executor.run_from(cache, dirty_deltas={name: (idx, vals)})
+    reference = executor.run_from(cache, dirty_values={name: dense})
+    return sparse, reference
+
+
+class TestRunFromSparse:
+    def test_chain_bit_identical_and_sparse_engaged(self):
+        sparse, reference = sparse_vs_dense(
+            elementwise_chain(), "a", [3, 17, 40], [9.0, -8.0, 2.5],
+            feed_vector())
+        assert sparse.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        # 3 of 64 elements per elementwise hop, never densified.
+        assert sparse.dense_fallback_nodes == 0
+        assert 0 < sparse.elements_evaluated < sparse.elements_full
+
+    def test_masked_delta_terminates_without_densifying(self):
+        """A delta the ReLU squashes retires via the O(changed) bitwise
+        comparison: nothing downstream of the relu re-evaluates."""
+        graph = elementwise_chain()
+        feed = feed_vector()
+        executor = sparse_executor(graph)
+        cache = executor.run(feed).values
+        golden = np.asarray(cache["a"]).reshape(-1)
+        index = int(np.argmin(golden))
+        assert golden[index] < 0.0
+        result = executor.run_from(
+            cache, dirty_deltas={"a": (np.array([index]),
+                                       np.array([golden[index] - 5.0]))})
+        assert result.output("out").tobytes() == \
+            np.asarray(cache["out"]).tobytes()
+        assert "c" not in result.recomputed
+        assert result.dense_fallback_nodes == 0
+
+    def test_remap_graph_bit_identical(self):
+        sparse, reference = sparse_vs_dense(
+            remap_graph(), "left", [0, 13, 63], [4.0, -7.0, 1.0],
+            feed_vector(1))
+        assert sparse.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        assert sparse.dense_fallback_nodes == 0
+
+    def test_concat_offsets_second_input(self):
+        sparse, reference = sparse_vs_dense(
+            remap_graph(), "right", [5, 20], [3.5, -2.0], feed_vector(2))
+        assert sparse.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        assert sparse.dense_fallback_nodes == 0
+
+    def test_densifying_op_scatters_once(self):
+        sparse, reference = sparse_vs_dense(
+            densify_graph(), "a", [10], [50.0], feed_vector(3))
+        assert sparse.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        assert sparse.dense_fallback_nodes == 1
+
+    def test_density_threshold_falls_back_dense(self):
+        """A delta over the density threshold densifies immediately and
+        still matches the dense path bit-for-bit."""
+        nnz = int(SPARSE_DENSITY_THRESHOLD * WIDTH) + 4
+        rng = np.random.default_rng(9)
+        idx = np.sort(rng.choice(WIDTH, size=nnz, replace=False))
+        vals = rng.normal(size=nnz) + 10.0
+        sparse, reference = sparse_vs_dense(
+            elementwise_chain(), "a", idx, vals, feed_vector(4))
+        assert sparse.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        assert sparse.dense_fallback_nodes >= 1
+
+    def test_min_gain_floor_gates_small_rows_dense(self):
+        """The cost-model floor: on rows smaller than
+        ``sparse_min_gain_elements`` the executor materializes the seed and
+        replays dense (the bookkeeping would cost more than it saves), with
+        byte-identical outputs either way."""
+        assert SPARSE_MIN_GAIN_ELEMENTS > WIDTH
+        graph = elementwise_chain()
+        feed = feed_vector(8)
+        executor = Executor(graph)  # default floor stays in force
+        cache = executor.run(feed).values
+        seed = {"a": (np.array([3]), np.array([42.0]))}
+        gated = executor.run_from(cache, dirty_deltas=seed)
+        executor.sparse_min_gain_elements = 0
+        sparse = executor.run_from(cache, dirty_deltas=seed)
+        assert gated.output("out").tobytes() == sparse.output("out").tobytes()
+        # Gated replay evaluated every element it touched densely; the
+        # ungated one skipped most of each row.
+        assert gated.dense_fallback_nodes == 1
+        assert gated.elements_evaluated == gated.elements_full > 0
+        assert sparse.dense_fallback_nodes == 0
+        assert sparse.elements_evaluated < sparse.elements_full
+
+    def test_min_gain_floor_gates_batched_rows_dense(self):
+        graph = elementwise_chain()
+        feed = feed_vector(9)
+        executor = Executor(graph)
+        cache = executor.run(feed).values
+        sp = SparseRows(2, np.array([0, 1]), np.array([4, 9]),
+                        np.array([11.0, -3.0]))
+        gated = executor.run_from_batched(
+            cache, dirty_row_deltas={"a": sp},
+            equivalence=EquivalenceMode.EXACT)
+        executor.sparse_min_gain_elements = 0
+        sparse = executor.run_from_batched(
+            cache, dirty_row_deltas={"a": sp},
+            equivalence=EquivalenceMode.EXACT)
+        assert gated.output("out").tobytes() == sparse.output("out").tobytes()
+        assert sparse.elements_evaluated < gated.elements_evaluated
+
+    def test_delta_landing_on_golden_bits_is_pruned(self):
+        graph = elementwise_chain()
+        feed = feed_vector()
+        executor = sparse_executor(graph)
+        cache = executor.run(feed).values
+        golden = np.asarray(cache["a"]).reshape(-1)
+        result = executor.run_from(
+            cache, dirty_deltas={"a": (np.array([2, 7]), golden[[2, 7]])})
+        assert not result.recomputed
+        assert result.output("out").tobytes() == \
+            np.asarray(cache["out"]).tobytes()
+
+    def test_seed_validation(self):
+        graph = elementwise_chain()
+        executor = Executor(graph)
+        cache = executor.run(feed_vector()).values
+        with pytest.raises(GraphError, match="strictly increasing"):
+            executor.run_from(cache, dirty_deltas={
+                "a": (np.array([5, 5]), np.array([1.0, 2.0]))})
+        with pytest.raises(GraphError, match="strictly increasing"):
+            executor.run_from(cache, dirty_deltas={
+                "a": (np.array([0, WIDTH]), np.array([1.0, 2.0]))})
+        with pytest.raises(GraphError, match="both dirty_values"):
+            executor.run_from(
+                cache,
+                dirty_values={"a": np.ones((1, WIDTH))},
+                dirty_deltas={"a": (np.array([0]), np.array([1.0]))})
+
+    def test_hooks_force_dense_but_stay_bit_identical(self):
+        """Output hooks disable the sparse fast path; the fallback must
+        densify the seeds up front and still match."""
+        graph = elementwise_chain()
+        feed = feed_vector(5)
+        executor = Executor(graph)
+        cache = executor.run(feed).values
+        reference = sparse_vs_dense(graph, "a", [8], [123.0], feed)[1]
+        hooked = Executor(graph)
+        hooked.add_output_hook(lambda node, value: value)
+        hooked_cache = hooked.run(feed).values
+        result = hooked.run_from(
+            hooked_cache,
+            dirty_deltas={"a": (np.array([8]), np.array([123.0]))})
+        assert result.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        assert result.elements_full == 0  # sparse path never engaged
+
+
+class TestRunFromBatchedSparse:
+    def test_batched_sparse_matches_batched_dense(self):
+        """Three rows with different sparse seeds: byte-equal to stacking
+        the equivalent dense rows (all-elementwise graph, EXACT mode)."""
+        graph = elementwise_chain()
+        feed = feed_vector(6)
+        executor = sparse_executor(graph)
+        cache = executor.run(feed).values
+        golden = np.asarray(cache["a"]).reshape(-1)
+        rows = np.array([0, 0, 1, 2])
+        idx = np.array([4, 30, 11, 60])
+        vals = np.array([9.0, -9.0, 77.0, 0.25])
+        sp = SparseRows(3, rows, idx, vals)
+        dense = np.broadcast_to(golden, (3, WIDTH)).copy()
+        dense[rows, idx] = vals
+        sparse = executor.run_from_batched(
+            cache, dirty_row_deltas={"a": sp},
+            equivalence=EquivalenceMode.EXACT)
+        reference = executor.run_from_batched(
+            cache, stacked_dirty_values={"a": dense},
+            equivalence=EquivalenceMode.EXACT)
+        assert sparse.output("out").tobytes() == \
+            reference.output("out").tobytes()
+        assert sparse.dense_fallback_nodes == 0
+        assert 0 < sparse.elements_evaluated < sparse.elements_full
+
+    def test_sparse_and_dense_rows_mix_in_one_batch(self):
+        """Row 0 seeds sparse at 'a', row 1 seeds dense at 'c': the two
+        representations must coexist without cross-talk."""
+        graph = elementwise_chain()
+        feed = feed_vector(7)
+        executor = sparse_executor(graph)
+        cache = executor.run(feed).values
+        golden_a = np.asarray(cache["a"]).reshape(-1)
+        golden_c = np.asarray(cache["c"])
+        dense_c = np.array(golden_c)
+        dense_c.reshape(-1)[50] = -41.0
+        sp = SparseRows(2, np.array([0]), np.array([12]), np.array([5.5]))
+        result = executor.run_from_batched(
+            cache, dirty_row_deltas={"a": sp},
+            stacked_dirty_values={"c": dense_c},
+            dirty_row_masks={"c": np.array([False, True])},
+            equivalence=EquivalenceMode.EXACT)
+        row0 = executor.run_from(
+            cache, dirty_deltas={"a": (np.array([12]), np.array([5.5]))})
+        row1 = executor.run_from(cache, dirty_values={"c": dense_c})
+        stacked = result.output("out")
+        assert stacked[0].tobytes() == row0.output("out")[0].tobytes()
+        assert stacked[1].tobytes() == row1.output("out")[0].tobytes()
+
+    def test_conflicting_entries_are_refused(self):
+        graph = elementwise_chain()
+        executor = Executor(graph)
+        cache = executor.run(feed_vector()).values
+        sp = SparseRows(2, np.array([0]), np.array([1]), np.array([2.0]))
+        with pytest.raises(GraphError, match="both"):
+            executor.run_from_batched(
+                cache, dirty_row_deltas={"a": sp},
+                stacked_dirty_values={"a": np.ones((1, WIDTH))},
+                dirty_row_masks={"a": np.array([True, False])})
+
+    def test_batch_invariant_sparse_entry_is_refused(self):
+        g = Graph("invariant")
+        g.add("x", ops.Placeholder(name="x", shape=(3,)))
+        g.add("w", ops.Variable(np.array([1.0, 2.0, 3.0]), name="w"))
+        g.add("sum", ops.Add(), inputs=["x", "w"])
+        g.mark_output("sum")
+        executor = Executor(g)
+        cache = executor.run({"x": np.ones((1, 3))}).values
+        sp = SparseRows(2, np.array([0]), np.array([1]), np.array([9.0]))
+        with pytest.raises(GraphError, match="batch-invariant"):
+            executor.run_from_batched(cache, dirty_row_deltas={"w": sp})
+
+
+class TestInjectorSparseSeeding:
+    def test_sparse_replay_is_bit_identical(self, untrained_lenet):
+        """inject_cached with sparse_delta=True: same fault records, same
+        output bytes as the dense replay, for every site."""
+        model = untrained_lenet.model
+        injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=3)
+        x = untrained_lenet.dataset.x_val[:1]
+        sizes = injector.profile_state_space(x)
+        executor = model.executor()
+        cache = executor.run({model.input_name: x},
+                             outputs=[model.output_name]).values
+        names = list(sizes)
+        for site in (names[0], names[len(names) // 2], names[-1]):
+            for trial in range(4):
+                plan = InjectionPlan(sites=[(site, trial * 13)])
+                out_s, faults_s, res_s = injector.inject_cached(
+                    executor, cache, plan, rng=trial_rng(11, trial),
+                    sparse_delta=True)
+                out_d, faults_d, _ = injector.inject_cached(
+                    executor, cache, plan, rng=trial_rng(11, trial),
+                    sparse_delta=False)
+                assert faults_s == faults_d, (site, trial)
+                assert np.asarray(out_s).tobytes() == \
+                    np.asarray(out_d).tobytes(), (site, trial)
+
+    def test_same_element_double_flip_compounds(self, untrained_lenet):
+        """Two flips at one element consume RNG in site order and compound
+        on the running value — exactly like the dense `_corrupt_flat`."""
+        model = untrained_lenet.model
+        injector = FaultInjector(model, SingleBitFlip(FIXED32), seed=3)
+        x = untrained_lenet.dataset.x_val[:1]
+        sizes = injector.profile_state_space(x)
+        executor = model.executor()
+        cache = executor.run({model.input_name: x},
+                             outputs=[model.output_name]).values
+        site = list(sizes)[0]
+        size = sizes[site]
+        # element + size wraps onto the same flat index as element.
+        plan = InjectionPlan(sites=[(site, 5), (site, 5 + size)])
+        out_s, faults_s, _ = injector.inject_cached(
+            executor, cache, plan, rng=trial_rng(2, 0), sparse_delta=True)
+        out_d, faults_d, _ = injector.inject_cached(
+            executor, cache, plan, rng=trial_rng(2, 0), sparse_delta=False)
+        assert faults_s == faults_d
+        assert len(faults_s) == 2
+        assert faults_s[1].original == faults_s[0].corrupted
+        assert np.asarray(out_s).tobytes() == np.asarray(out_d).tobytes()
+
+
+class TestZooSparseEquivalence:
+    @pytest.mark.parametrize("dtype_name", sorted(DTYPE_POLICIES))
+    @pytest.mark.parametrize("use_ranger", [False, True],
+                             ids=["unprotected", "ranger"])
+    def test_sparse_matches_dense_incremental(self, subset_prepared,
+                                              dtype_name, use_ranger):
+        """Serial (batch-1) campaigns: fault records and verdicts must be
+        bit-identical with sparse deltas on; batched campaigns must agree
+        on verdicts and fault records under the shared packing."""
+        prepared = subset_prepared
+        model = prepared.model
+        if use_ranger:
+            sample, _ = prepared.dataset.sample_train(4, seed=0)
+            model, _ = Ranger(seed=0).protect(prepared.model,
+                                              profile_inputs=sample)
+        policy = DTYPE_POLICIES[dtype_name]()
+        inputs = prepared.dataset.x_val[:2]
+
+        def build():
+            campaign = FaultInjectionCampaign(model, inputs,
+                                              dtype_policy=policy, seed=0)
+            # Zero the cost-model floor: these models' rows are small
+            # enough that production replays would (correctly) stay dense,
+            # but this test pins the sparse mechanics themselves.
+            campaign._executor.sparse_min_gain_elements = 0
+            return campaign
+
+        serial = build()
+        plans = serial.generate_plans(TRIALS)
+        dense = serial.run(plans=plans, keep_faults=True, sparse_delta=False)
+        sparse = build().run(plans=plans, keep_faults=True, sparse_delta=True)
+        assert sparse.sdc_counts == dense.sdc_counts
+        assert sparse.faults == dense.faults
+        assert sparse.equivalence == "exact"
+        assert sparse.elements_full > 0
+        assert sparse.elements_evaluated < sparse.elements_full
+        assert dense.elements_full == 0  # legacy path: counters stay zero
+        batched = build().run(plans=plans, keep_faults=True, batch_trials=16,
+                              sparse_delta=True)
+        assert batched.sdc_counts == dense.sdc_counts
+        assert batched.faults == dense.faults
+
+    def test_resnet_skip_connections_resparsify(self, resnet_prepared):
+        """Model-scale densify-then-resparsify: the delta densifies at
+        every conv, re-sparsifies behind it, and the verdicts still match
+        the dense batched path."""
+        prepared = resnet_prepared
+        inputs = prepared.dataset.x_val[:2]
+
+        def build():
+            campaign = FaultInjectionCampaign(prepared.model, inputs,
+                                              dtype_policy=fixed32_policy(),
+                                              seed=0)
+            campaign._executor.sparse_min_gain_elements = 0
+            return campaign
+
+        serial = build()
+        plans = serial.generate_plans(24)
+        dense = serial.run(plans=plans, keep_faults=True, batch_trials=8,
+                           sparse_delta=False)
+        sparse = build().run(plans=plans, keep_faults=True, batch_trials=8,
+                             sparse_delta=True)
+        assert sparse.sdc_counts == dense.sdc_counts
+        assert sparse.faults == dense.faults
+        # The sparse path re-engaged after densifying convolutions: work
+        # was skipped AND dense fallbacks happened.
+        assert sparse.dense_fallback_nodes > 0
+        assert sparse.sparse_evaluated_fraction is not None
+        assert sparse.sparse_evaluated_fraction > 0.1
+
+    def test_workers_carry_sparse_counters(self, untrained_lenet):
+        inputs, _ = untrained_lenet.correctly_predicted_inputs(2, seed=0)
+
+        def build():
+            return FaultInjectionCampaign(untrained_lenet.model, inputs,
+                                          seed=0)
+
+        serial = build()
+        plans = serial.generate_plans(16)
+        reference = serial.run(plans=plans, keep_faults=True)
+        fanned = build().run(plans=plans, keep_faults=True, workers=2)
+        assert fanned.sdc_counts == reference.sdc_counts
+        assert fanned.faults == reference.faults
+        assert fanned.elements_full == reference.elements_full
+        assert fanned.elements_evaluated == reference.elements_evaluated
+
+
+class TestSparseAccounting:
+    def test_merge_adds_element_counters(self):
+        shard = CampaignResult(model_name="m", fault_model="f", trials=10,
+                               sdc_counts={"top1": 1},
+                               equivalence="exact",
+                               elements_evaluated=100, elements_full=1000,
+                               dense_fallback_nodes=3)
+        merged = CampaignResult.merge([shard, shard])
+        assert merged.elements_evaluated == 200
+        assert merged.elements_full == 2000
+        assert merged.dense_fallback_nodes == 6
+        assert merged.sparse_evaluated_fraction == pytest.approx(0.9)
+
+    def test_summary_reports_sparse_line(self):
+        result = CampaignResult(model_name="m", fault_model="f", trials=10,
+                                sdc_counts={"top1": 1},
+                                equivalence="exact",
+                                elements_evaluated=250, elements_full=1000,
+                                dense_fallback_nodes=2)
+        text = result.summary()
+        assert "sparse deltas" in text
+        assert "75.0%" in text
+
+    def test_dense_runs_report_no_sparse_line(self, untrained_lenet):
+        inputs, _ = untrained_lenet.correctly_predicted_inputs(2, seed=0)
+        campaign = FaultInjectionCampaign(untrained_lenet.model, inputs,
+                                          seed=0)
+        result = campaign.run(trials=5, sparse_delta=False)
+        assert result.elements_full == 0
+        assert result.sparse_evaluated_fraction is None
+        assert "sparse deltas" not in result.summary()

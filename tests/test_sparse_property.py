@@ -1,0 +1,251 @@
+"""Property-based byte-equality suite for the ``elementwise_exact`` contract.
+
+Every operator (and dtype policy) that declares
+:attr:`~repro.ops.base.Operator.elementwise_exact` promises that applying
+its forward to a *gathered subset* of a row's elements produces exactly
+the bytes the dense forward produces at those positions — that promise is
+what lets the replay engine carry fault deltas sparsely while staying
+bit-identical to the dense incremental path.  Hypothesis hammers the
+promise with random shapes, random strictly-sorted index sets and the full
+ugly float64 value range (subnormals, infinities, NaNs, signed zeros):
+
+* **value-kind operators** — ``sparse_forward(indices, *gathered)`` must
+  byte-equal ``forward(*dense)`` gathered at ``indices``;
+* **remap-kind operators** (reshape / flatten / concat) — the remapped
+  indices must land each value exactly where the dense forward moved it;
+* **dtype policies** — quantizing the gathered subset must byte-equal
+  gathering the quantized row.
+
+Profiles are tiered so CI stays fast while local runs can dig deeper:
+``REPRO_HYPOTHESIS_PROFILE=thorough`` raises the example budget 10×.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import ops
+from repro.core import ClipToBound, ResetToZero
+from repro.graph import gather_param
+from repro.quantization import fixed16_policy, fixed32_policy
+
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=250, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
+
+# The full IEEE-754 menagerie: the sparse path must reproduce dense bytes
+# even through NaN payloads, infinities, signed zeros and subnormals.
+FLOATS = st.floats(allow_nan=True, allow_infinity=True, width=64,
+                   allow_subnormal=True)
+
+
+def row_and_indices(draw, min_size=1, max_size=96):
+    """Draw a (1, n) float64 row plus a strictly-sorted flat index set."""
+    n = draw(st.integers(min_size, max_size))
+    x = draw(hnp.arrays(np.float64, (1, n), elements=FLOATS))
+    picked = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+    return x, np.array(sorted(picked), dtype=np.int64)
+
+
+def assert_bytes(sparse, dense_gathered, label=""):
+    sparse = np.ascontiguousarray(sparse, dtype=np.float64)
+    dense_gathered = np.ascontiguousarray(dense_gathered, dtype=np.float64)
+    assert sparse.shape == dense_gathered.shape, label
+    assert sparse.tobytes() == dense_gathered.tobytes(), label
+
+
+# ---------------------------------------------------------------------------
+# Value-kind, single input.
+# ---------------------------------------------------------------------------
+
+UNARY_OPS = [
+    ("identity", lambda: ops.Identity()),
+    ("relu", lambda: ops.ReLU()),
+    ("leaky_relu", lambda: ops.LeakyReLU(alpha=0.1)),
+    ("elu", lambda: ops.ELU(alpha=0.7)),
+    ("tanh", lambda: ops.Tanh()),
+    ("sigmoid", lambda: ops.Sigmoid()),
+    ("atan", lambda: ops.Atan()),
+    ("scaled_atan", lambda: ops.ScaledAtan(scale=1.5)),
+    ("scale", lambda: ops.Scale(-2.5)),
+    ("clip_by_value", lambda: ops.ClipByValue(-1.0, 1.5)),
+    ("ranger_clip", lambda: ClipToBound(-2.0, 3.0)),
+    ("ranger_zero", lambda: ResetToZero(-2.0, 3.0)),
+]
+
+
+@pytest.mark.parametrize("name,factory", UNARY_OPS,
+                         ids=[name for name, _ in UNARY_OPS])
+@given(data=st.data())
+def test_unary_sparse_forward_matches_dense(name, factory, data):
+    op = factory()
+    assert op.elementwise_exact
+    x, idx = row_and_indices(data.draw)
+    dense = np.asarray(op.forward(x), dtype=np.float64)
+    sparse = op.sparse_forward(idx, x.reshape(-1)[idx])
+    assert_bytes(sparse, dense.reshape(-1)[idx], name)
+
+
+# ---------------------------------------------------------------------------
+# Value-kind, two batch-shaped inputs (residual adds, Ranger bounds).
+# ---------------------------------------------------------------------------
+
+BINARY_OPS = [
+    ("add", lambda: ops.Add()),
+    ("multiply", lambda: ops.Multiply()),
+    ("minimum", lambda: ops.Minimum()),
+    ("maximum", lambda: ops.Maximum()),
+]
+
+
+@pytest.mark.parametrize("name,factory", BINARY_OPS,
+                         ids=[name for name, _ in BINARY_OPS])
+@given(data=st.data())
+def test_binary_sparse_forward_matches_dense(name, factory, data):
+    op = factory()
+    assert op.elementwise_exact
+    x, idx = row_and_indices(data.draw)
+    y = data.draw(hnp.arrays(np.float64, x.shape, elements=FLOATS))
+    dense = np.asarray(op.forward(x, y), dtype=np.float64)
+    sparse = op.sparse_forward(idx, x.reshape(-1)[idx], y.reshape(-1)[idx])
+    assert_bytes(sparse, dense.reshape(-1)[idx], name)
+
+
+@pytest.mark.parametrize("name,factory",
+                         [("minimum", lambda: ops.Minimum()),
+                          ("maximum", lambda: ops.Maximum())],
+                         ids=["minimum", "maximum"])
+@given(data=st.data())
+def test_bound_ops_with_broadcast_bound(name, factory, data):
+    """Ranger's bound input is a scalar broadcast against the row — the
+    executor gathers it via ``gather_param``."""
+    op = factory()
+    x, idx = row_and_indices(data.draw)
+    bound = np.asarray(data.draw(FLOATS))
+    dense = np.asarray(op.forward(x, bound), dtype=np.float64)
+    gathered_bound = gather_param(bound, x.shape[1:], idx)
+    sparse = op.sparse_forward(idx, x.reshape(-1)[idx], gathered_bound)
+    assert_bytes(sparse, dense.reshape(-1)[idx], name)
+
+
+# ---------------------------------------------------------------------------
+# Value-kind with batch-invariant parameters: BiasAdd and inference BN.
+# ---------------------------------------------------------------------------
+
+
+@given(data=st.data())
+def test_bias_add_with_gathered_bias(data):
+    op = ops.BiasAdd()
+    assert op.elementwise_exact
+    channels = data.draw(st.integers(1, 24))
+    rows = data.draw(st.integers(1, 6))
+    x = data.draw(hnp.arrays(np.float64, (1, rows, channels),
+                             elements=FLOATS))
+    b = data.draw(hnp.arrays(np.float64, (channels,), elements=FLOATS))
+    size = rows * channels
+    picked = data.draw(st.sets(st.integers(0, size - 1), min_size=1,
+                               max_size=size))
+    idx = np.array(sorted(picked), dtype=np.int64)
+    dense = np.asarray(op.forward(x, b), dtype=np.float64)
+    gathered_b = gather_param(b, x.shape[1:], idx)
+    sparse = op.sparse_forward(idx, x.reshape(-1)[idx], gathered_b)
+    assert_bytes(sparse, dense.reshape(-1)[idx], "bias_add")
+
+
+@given(data=st.data())
+def test_inference_batchnorm_matches_dense(data):
+    channels = data.draw(st.integers(1, 16))
+    rows = data.draw(st.integers(1, 5))
+    op = ops.BatchNorm()
+    op.training = False
+    op.moving_mean = data.draw(hnp.arrays(
+        np.float64, (channels,),
+        elements=st.floats(-100, 100, width=64)))
+    op.moving_var = data.draw(hnp.arrays(
+        np.float64, (channels,),
+        elements=st.floats(1e-6, 100, width=64)))
+    assert op.elementwise_exact
+    x = data.draw(hnp.arrays(np.float64, (1, rows, channels),
+                             elements=FLOATS))
+    gamma = data.draw(hnp.arrays(np.float64, (channels,),
+                                 elements=st.floats(-10, 10, width=64)))
+    beta = data.draw(hnp.arrays(np.float64, (channels,),
+                                elements=st.floats(-10, 10, width=64)))
+    size = rows * channels
+    picked = data.draw(st.sets(st.integers(0, size - 1), min_size=1,
+                               max_size=size))
+    idx = np.array(sorted(picked), dtype=np.int64)
+    dense = np.asarray(op.forward(x, gamma, beta), dtype=np.float64)
+    row_shape = x.shape[1:]
+    sparse = op.sparse_forward(idx, x.reshape(-1)[idx],
+                               gather_param(gamma, row_shape, idx),
+                               gather_param(beta, row_shape, idx))
+    assert_bytes(sparse, dense.reshape(-1)[idx], "batchnorm")
+
+
+# ---------------------------------------------------------------------------
+# Remap-kind: the indices move, the values must not.
+# ---------------------------------------------------------------------------
+
+
+@given(data=st.data())
+def test_reshape_and_flatten_remap_is_identity(data):
+    h = data.draw(st.integers(1, 8))
+    w = data.draw(st.integers(1, 8))
+    x = data.draw(hnp.arrays(np.float64, (1, h * w), elements=FLOATS))
+    picked = data.draw(st.sets(st.integers(0, h * w - 1), min_size=1))
+    idx = np.array(sorted(picked), dtype=np.int64)
+    for op in (ops.Reshape((h, w)), ops.Flatten()):
+        assert op.elementwise_exact and op.sparse_kind == "remap"
+        dense = np.asarray(op.forward(x), dtype=np.float64)
+        remapped = op.sparse_remap(0, idx, [x.shape[1:]], dense.shape[1:])
+        assert_bytes(x.reshape(-1)[idx], dense.reshape(-1)[remapped],
+                     type(op).__name__)
+
+
+@given(data=st.data())
+def test_concat_remap_relocates_every_input(data):
+    """Feature-axis concat of 2–3 inputs: for every input position, the
+    remapped index of each changed element must address exactly that
+    element's value in the dense concat output."""
+    parts = data.draw(st.integers(2, 3))
+    outer = data.draw(st.integers(1, 4))
+    widths = [data.draw(st.integers(1, 6)) for _ in range(parts)]
+    arrays = [data.draw(hnp.arrays(np.float64, (1, outer, w),
+                                   elements=FLOATS))
+              for w in widths]
+    op = ops.Concatenate(axis=-1)
+    assert op.elementwise_exact and op.sparse_kind == "remap"
+    dense = np.asarray(op.forward(*arrays), dtype=np.float64)
+    input_row_shapes = [a.shape[1:] for a in arrays]
+    for position, a in enumerate(arrays):
+        size = a[0].size
+        picked = data.draw(st.sets(st.integers(0, size - 1), min_size=1))
+        idx = np.array(sorted(picked), dtype=np.int64)
+        remapped = op.sparse_remap(position, idx, input_row_shapes,
+                                   dense.shape[1:])
+        assert_bytes(a.reshape(-1)[idx], dense.reshape(-1)[remapped],
+                     f"concat input {position}")
+
+
+# ---------------------------------------------------------------------------
+# Dtype policies: quantize-the-subset must equal subset-of-the-quantized.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy_factory", [fixed16_policy, fixed32_policy],
+                         ids=["fixed16", "fixed32"])
+@given(data=st.data())
+def test_fixed_point_quantize_is_elementwise(policy_factory, data):
+    policy = policy_factory()
+    assert policy.elementwise_exact
+    x, idx = row_and_indices(data.draw)
+    dense = np.asarray(policy.fmt.quantize(x), dtype=np.float64)
+    sparse = policy.fmt.quantize(x.reshape(-1)[idx])
+    assert_bytes(sparse, dense.reshape(-1)[idx], policy.name)
