@@ -1,21 +1,291 @@
-"""Accuracy and deviation metrics used by the evaluation (Table II, Table V).
+"""Accuracy, deviation and campaign statistics (Table II, Table V, Sec. IV).
 
 * Classifiers: top-1 / top-5 accuracy.
 * Steering models: RMSE and average absolute deviation per frame, in degrees
   (the metrics the paper reports for Dave and Comma.ai).
 * Mergeable counters: the aggregation primitive behind sharded
   fault-injection campaigns (``CampaignResult.merge``).
+* Binomial interval methods (Wilson, Jeffreys, normal approximation): the
+  SDC-rate error bars and the half-width stopping rule of adaptive
+  campaigns.  Wilson is the default everywhere — unlike the normal
+  approximation it never collapses to a zero-width bar at 0 (or n)
+  successes, which matters because protected models routinely measure
+  zero SDCs at laptop-scale trial counts.
+* Stratified (Horvitz–Thompson) estimators: the unbiased overall-rate
+  reconstruction behind importance-sampled campaigns
+  (``CampaignResult.stratified_sdc_rate``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.driving import degrees_from_output
 from ..models.base import Model
+
+try:  # pragma: no cover - exercised via jeffreys_interval either way
+    from scipy.special import betaincinv as _betaincinv
+except ImportError:  # pragma: no cover - scipy-less deployments
+    _betaincinv = None
+
+
+# ---------------------------------------------------------------------------
+# Binomial confidence intervals
+# ---------------------------------------------------------------------------
+
+#: Interval methods :func:`binomial_interval` accepts, in preference order.
+INTERVAL_METHODS = ("wilson", "jeffreys", "normal")
+
+
+def _validate_counts(successes: int, trials: int) -> None:
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not 0 <= successes <= max(trials, 0):
+        raise ValueError(
+            f"successes must lie in [0, trials], got {successes}/{trials}")
+
+
+def normal_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Normal-approximation (Wald) interval on a binomial proportion.
+
+    Kept as the legacy reference: its ``p(1-p)`` variance collapses at the
+    boundaries, so 0 successes yield a misleading zero-width bar (the
+    ``max(..., 1e-12)`` floor below only keeps the math finite).  Prefer
+    :func:`wilson_interval`.
+    """
+    _validate_counts(successes, trials)
+    if trials == 0:
+        return 0.0, 0.0
+    p = successes / trials
+    half = z * math.sqrt(max(p * (1.0 - p), 1e-12) / trials)
+    return max(0.0, p - half), min(1.0, p + half)
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval on a binomial proportion.
+
+    The inversion of the score test: all ``p`` with
+    ``|p_hat - p| <= z * sqrt(p (1 - p) / n)``.  Unlike the normal
+    approximation it is well-behaved at the boundaries — 0 successes give
+    ``[0, z^2 / (n + z^2)]``, a correct nonzero upper bound — and its
+    coverage is close to nominal even at small ``n``, which is what makes
+    it a sound basis for a sequential stopping rule.
+    """
+    _validate_counts(successes, trials)
+    if trials == 0:
+        return 0.0, 0.0
+    n = float(trials)
+    p = successes / n
+    z2 = z * z
+    denominator = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denominator
+    half = (z / denominator) * math.sqrt(
+        p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def _regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)`` via the continued-fraction expansion (Lentz's method).
+
+    Pure-python fallback used when scipy is unavailable; accurate to ~1e-12
+    for the Jeffreys parameters (``a, b = s + 1/2, n - s + 1/2``).
+    """
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+                + a * math.log(x) + b * math.log1p(-x))
+    front = math.exp(ln_front)
+    # The continued fraction converges fast for x < (a + 1) / (a + b + 2);
+    # otherwise use the symmetry I_x(a, b) = 1 - I_{1-x}(b, a).
+    if x >= (a + 1.0) / (a + b + 2.0):
+        return 1.0 - _regularized_incomplete_beta(b, a, 1.0 - x)
+    tiny = 1e-300
+    c, d = 1.0, 1.0 - (a + b) * x / (a + 1.0)
+    d = 1.0 / (d if abs(d) > tiny else tiny)
+    result = d
+    for m in range(1, 300):
+        numerator = m * (b - m) * x / ((a + 2 * m - 1.0) * (a + 2 * m))
+        d = 1.0 + numerator * d
+        d = 1.0 / (d if abs(d) > tiny else tiny)
+        c = 1.0 + numerator / (c if abs(c) > tiny else tiny)
+        result *= c * d
+        numerator = -(a + m) * (a + b + m) * x / (
+            (a + 2 * m) * (a + 2 * m + 1.0))
+        d = 1.0 + numerator * d
+        d = 1.0 / (d if abs(d) > tiny else tiny)
+        c = 1.0 + numerator / (c if abs(c) > tiny else tiny)
+        delta = c * d
+        result *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return front * result / a
+
+
+def _beta_quantile(a: float, b: float, q: float) -> float:
+    """Inverse regularized incomplete beta (the Beta(a, b) quantile)."""
+    if _betaincinv is not None:
+        return float(_betaincinv(a, b, q))
+    lo, hi = 0.0, 1.0
+    for _ in range(200):  # bisection: 2^-200 easily exceeds float precision
+        mid = 0.5 * (lo + hi)
+        if _regularized_incomplete_beta(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-15:
+            break
+    return 0.5 * (lo + hi)
+
+
+def z_to_two_sided_alpha(z: float) -> float:
+    """The two-sided tail mass of ``±z`` under the standard normal."""
+    return 1.0 - math.erf(z / math.sqrt(2.0))
+
+
+def jeffreys_interval(successes: int, trials: int,
+                      z: float = 1.96) -> Tuple[float, float]:
+    """Jeffreys (Beta(1/2, 1/2)-posterior) equal-tailed credible interval.
+
+    ``z`` is translated to the matching two-sided level (1.96 -> 95%) so
+    the signature stays interchangeable with the other methods.  Follows
+    the standard boundary convention: the lower endpoint is 0 when no
+    successes were observed, the upper endpoint 1 when all trials succeed.
+    """
+    _validate_counts(successes, trials)
+    if trials == 0:
+        return 0.0, 0.0
+    tail = z_to_two_sided_alpha(z) / 2.0
+    a, b = successes + 0.5, trials - successes + 0.5
+    low = 0.0 if successes == 0 else _beta_quantile(a, b, tail)
+    high = 1.0 if successes == trials else _beta_quantile(a, b, 1.0 - tail)
+    return low, high
+
+
+_INTERVAL_FUNCTIONS = {"wilson": wilson_interval,
+                       "jeffreys": jeffreys_interval,
+                       "normal": normal_interval}
+
+
+def binomial_interval(successes: int, trials: int, z: float = 1.96,
+                      method: str = "wilson") -> Tuple[float, float]:
+    """Dispatch to one of the :data:`INTERVAL_METHODS` by name."""
+    try:
+        function = _INTERVAL_FUNCTIONS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown interval method '{method}'; "
+            f"expected one of {INTERVAL_METHODS}") from None
+    return function(successes, trials, z)
+
+
+def interval_half_width(successes: int, trials: int, z: float = 1.96,
+                        method: str = "wilson") -> float:
+    """Half the width of the chosen interval — the stopping-rule statistic."""
+    low, high = binomial_interval(successes, trials, z, method)
+    return (high - low) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Stratified (Horvitz–Thompson) estimators
+# ---------------------------------------------------------------------------
+
+
+def _sampled_strata(weights: Mapping[str, float],
+                    trials: Mapping[str, int]) -> Dict[str, float]:
+    """Renormalized weights of the strata that received at least one trial.
+
+    The estimators condition on the sampled strata: a stratum with zero
+    trials contributes no information, so its weight is redistributed
+    proportionally (exact when every stratum is sampled, which the uniform
+    first wave of adaptive campaigns guarantees).
+    """
+    sampled = {key: weights[key] for key, n in trials.items()
+               if n > 0 and key in weights}
+    missing = [key for key, n in trials.items()
+               if n > 0 and key not in weights]
+    if missing:
+        raise ValueError(
+            f"trials recorded for strata without weights: {sorted(missing)}")
+    total = sum(sampled.values())
+    if total <= 0.0:
+        raise ValueError("stratified estimate requires at least one trial "
+                         "in a stratum with positive weight")
+    return {key: weight / total for key, weight in sampled.items()}
+
+
+def stratified_rate(weights: Mapping[str, float],
+                    counts: Mapping[str, int],
+                    trials: Mapping[str, int]) -> float:
+    """Horvitz–Thompson estimate of the overall rate from stratum counters.
+
+    ``sum_h q_h * s_h / n_h`` — every trial in stratum ``h`` carries the
+    importance weight ``q_h / n_h`` (its stratum's probability under the
+    target uniform-fault distribution over the allocation it received), so
+    the estimate is unbiased for **any** allocation with ``n_h >= 1``, in
+    particular the Neyman allocations adaptive campaigns converge to.
+    Counters are additive across shards, so merged campaigns reproduce the
+    unsharded estimate exactly.
+    """
+    normalized = _sampled_strata(weights, trials)
+    return float(sum(weight * counts.get(key, 0) / trials[key]
+                     for key, weight in normalized.items()))
+
+
+def stratified_variance(weights: Mapping[str, float],
+                        counts: Mapping[str, int],
+                        trials: Mapping[str, int]) -> float:
+    """Variance of the stratified estimator, Jeffreys-smoothed.
+
+    ``sum_h q_h^2 * p_h (1 - p_h) / n_h`` with the per-stratum variance
+    evaluated at the Jeffreys posterior mean ``(s + 1/2) / (n + 1)`` rather
+    than the raw proportion — a stratum that has seen 0 (or all) successes
+    so far keeps a nonzero variance contribution, which keeps the stopping
+    rule conservative instead of declaring a stratum settled after one
+    lucky wave.  The smoothing affects only the *interval*; the rate
+    estimate itself stays the unbiased :func:`stratified_rate`.
+    """
+    normalized = _sampled_strata(weights, trials)
+    variance = 0.0
+    for key, weight in normalized.items():
+        n = trials[key]
+        smoothed = (counts.get(key, 0) + 0.5) / (n + 1.0)
+        variance += weight * weight * smoothed * (1.0 - smoothed) / n
+    return float(variance)
+
+
+def stratified_interval(weights: Mapping[str, float],
+                        counts: Mapping[str, int],
+                        trials: Mapping[str, int],
+                        z: float = 1.96) -> Tuple[float, float]:
+    """Normal-theory interval around the stratified rate estimate."""
+    rate = stratified_rate(weights, counts, trials)
+    half = z * math.sqrt(stratified_variance(weights, counts, trials))
+    return max(0.0, rate - half), min(1.0, rate + half)
+
+
+def merge_partial_count_dicts(counts: Iterable[Mapping[str, int]]
+                              ) -> Dict[str, int]:
+    """Sum per-key counters whose key sets may differ (union semantics).
+
+    The merge primitive for *stratum* counters: shards of an adaptive
+    campaign legitimately see different stratum subsets (a wave's Neyman
+    allocation can skip settled strata entirely), so missing keys mean
+    "zero trials there", not a programming error as in
+    :func:`merge_count_dicts`.
+    """
+    merged: Dict[str, int] = {}
+    for counter in counts:
+        for key, value in counter.items():
+            merged[key] = merged.get(key, 0) + int(value)
+    return merged
 
 
 def merge_count_dicts(counts: Sequence[Mapping[str, int]]) -> Dict[str, int]:

@@ -1,5 +1,6 @@
 """Experiment definitions — one per table / figure of the paper."""
 
+from .adaptive_experiments import run_adaptive_efficiency
 from .common import (
     ExperimentResult,
     ExperimentScale,
@@ -42,6 +43,7 @@ __all__ = [
     "paired_sdc_rates",
     "protect_with_ranger",
     "results_to_markdown",
+    "run_adaptive_efficiency",
     "run_all_experiments",
     "run_campaign_throughput",
     "run_fig4_bound_convergence",

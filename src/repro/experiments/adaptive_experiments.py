@@ -1,0 +1,141 @@
+"""Adaptive-campaign efficiency: trials consumed to reach a target CI.
+
+The statistical counterpart of the throughput experiments: instead of
+making each trial cheaper, adaptive campaigns run *fewer* trials.  A
+fixed-budget campaign that must guarantee a ±τ confidence half-width for
+**any** SDC rate has to size for the worst case ``p = 0.5`` —
+``N(τ) = ceil(z² / (4 τ²))`` trials (385 at τ = 5%, z = 1.96) — while a
+sequentially-stopped campaign quits as soon as the interval around the
+*observed* rate is tight enough, which for the near-zero SDC rates of
+Ranger-protected models happens after a small fraction of that budget
+(the Wilson half-width at 0 observed SDCs is ``z² / 2(n + z²)``, already
+under 5% by n ≈ 35).  The trials-consumed numbers below are exact
+deterministic functions of the campaign seed — the stopping rule fires
+at the same wave on every machine — so the benchmark guards on them are
+noise-free, unlike the wall-clock guards of the throughput suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..analysis import render_table
+from ..injection import (FaultInjectionCampaign, SingleBitFlip,
+                         Stratification)
+from ..quantization import FIXED32, fixed32_policy
+from .common import (ExperimentResult, ExperimentScale, campaign_pool,
+                     get_prepared, protect_with_ranger)
+
+#: Stopping target: CI half-width of 5 percentage points at 95%.
+TARGET_HALF_WIDTH = 0.05
+Z = 1.96
+#: Trials per adaptive wave.  Small enough to stop promptly once the
+#: interval tightens, large enough that wave overhead stays negligible.
+WAVE_TRIALS = 32
+
+
+def fixed_budget_for(target_half_width: float = TARGET_HALF_WIDTH,
+                     z: float = Z) -> int:
+    """Worst-case (p = 0.5) trial budget guaranteeing the target width."""
+    return math.ceil(z ** 2 / (4.0 * target_half_width ** 2))
+
+
+def _campaign(model, inputs, seed: int) -> FaultInjectionCampaign:
+    """A fresh campaign for one run.
+
+    Fresh per run (not reused) because plan sampling consumes the
+    injector's RNG: same-seed fresh campaigns draw identical plans, which
+    is what makes the adaptive run a bit-exact prefix of the fixed one.
+    """
+    return FaultInjectionCampaign(model, inputs,
+                                  fault_model=SingleBitFlip(FIXED32),
+                                  dtype_policy=fixed32_policy(), seed=seed)
+
+
+def run_adaptive_efficiency(scale: Optional[ExperimentScale] = None
+                            ) -> ExperimentResult:
+    """Trials-to-target-CI: adaptive and stratified vs. fixed budget.
+
+    For each model × {unprotected, ranger} the same campaign runs three
+    ways — fixed budget ``N(τ)``, sequential early stopping, and early
+    stopping with (layer × bit-band) stratified allocation — and the
+    table reports the trials each consumed to reach the ±τ target
+    half-width, plus the rate estimates (Horvitz–Thompson for the
+    stratified run) so the speedup is visibly not changing the answer.
+    """
+    scale = scale or ExperimentScale()
+    pool = campaign_pool(scale)
+    budget = fixed_budget_for()
+    models = list(scale.large_classifier_models[:2]
+                  or scale.classifier_models[:1])
+    strata = Stratification(layer_bands=4, bit_bands=4)
+
+    headers = ["model", "variant", "fixed trials", "fixed rate%",
+               "adaptive trials", "adaptive rate%", "waves", "speedup",
+               "stratified trials", "ht rate%", "strat speedup"]
+    rows = []
+    data: Dict[str, Any] = {"target_half_width": TARGET_HALF_WIDTH, "z": Z,
+                            "wave_trials": WAVE_TRIALS,
+                            "fixed_trials": budget, "models": {}}
+
+    for name in models:
+        prepared = get_prepared(name, scale)
+        protected, _ = protect_with_ranger(prepared, scale)
+        inputs, _ = prepared.correctly_predicted_inputs(scale.num_inputs,
+                                                        seed=scale.seed)
+        data["models"][name] = {}
+        for variant, model in (("unprotected", prepared.model),
+                               ("ranger", protected)):
+            fixed = _campaign(model, inputs, scale.seed).run(
+                trials=budget, workers=scale.workers, pool=pool)
+            adaptive = _campaign(model, inputs, scale.seed).run(
+                trials=budget, target_half_width=TARGET_HALF_WIDTH,
+                wave_trials=WAVE_TRIALS, z=Z, workers=scale.workers,
+                pool=pool)
+            stratified = _campaign(model, inputs, scale.seed).run(
+                trials=budget, target_half_width=TARGET_HALF_WIDTH,
+                wave_trials=WAVE_TRIALS, z=Z, strata=strata,
+                workers=scale.workers, pool=pool)
+            criterion = fixed.criteria[0]
+
+            # The adaptive run replays a prefix of the fixed run's plans,
+            # so its count can never exceed the fixed run's, and both must
+            # hit the target the fixed budget was sized for.
+            assert adaptive.trials <= fixed.trials
+            assert adaptive.sdc_counts[criterion] <= fixed.sdc_counts[criterion]
+            assert adaptive.half_width(criterion, z=Z) <= TARGET_HALF_WIDTH
+            assert stratified.half_width(criterion, z=Z) <= TARGET_HALF_WIDTH
+
+            speedup = fixed.trials / adaptive.trials
+            strat_speedup = fixed.trials / stratified.trials
+            rows.append([name, variant, fixed.trials,
+                         fixed.sdc_rate_percent(criterion),
+                         adaptive.trials,
+                         adaptive.sdc_rate_percent(criterion),
+                         adaptive.waves, speedup, stratified.trials,
+                         stratified.sdc_rate_percent(criterion),
+                         strat_speedup])
+            data["models"][name][variant] = {
+                "fixed_trials": fixed.trials,
+                "fixed_rate": fixed.sdc_rate(criterion),
+                "fixed_half_width": fixed.half_width(criterion, z=Z),
+                "adaptive_trials": adaptive.trials,
+                "adaptive_rate": adaptive.sdc_rate(criterion),
+                "adaptive_half_width": adaptive.half_width(criterion, z=Z),
+                "adaptive_waves": adaptive.waves,
+                "speedup": speedup,
+                "stratified_trials": stratified.trials,
+                "stratified_rate": stratified.sdc_rate(criterion),
+                "stratified_speedup": strat_speedup,
+            }
+
+    rendered = render_table(
+        headers, rows,
+        title=f"Trials to reach ±{100 * TARGET_HALF_WIDTH:.0f}% CI "
+              f"half-width (fixed budget N = {budget}, wave = {WAVE_TRIALS})")
+    return ExperimentResult(
+        name="adaptive_efficiency",
+        paper_reference="campaign methodology (sequential stopping + "
+                        "stratified importance sampling)",
+        data=data, rendered=rendered)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .adaptive_experiments import run_adaptive_efficiency
 from .common import ExperimentResult, ExperimentScale
 from .comparison_experiments import (
     run_fig8_hong_comparison,
@@ -61,6 +62,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = 
     "sec6c_design_alternatives": run_sec6c_design_alternatives,
     "campaign_throughput": run_campaign_throughput,
     "parallel_scaling": run_parallel_scaling,
+    "adaptive_efficiency": run_adaptive_efficiency,
 }
 
 

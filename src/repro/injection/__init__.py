@@ -3,6 +3,7 @@
 from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
 from .campaign import (
     DEFAULT_CACHE_BUDGET_BYTES,
+    DEFAULT_INTERVAL_METHOD,
     CampaignResult,
     CampaignSpec,
     FaultInjectionCampaign,
@@ -27,6 +28,14 @@ from .injector import (
     last_layer_exclusions,
 )
 from .pool import CampaignPool
+from .sampling import (
+    Stratification,
+    StratumSpace,
+    largest_remainder,
+    neyman_allocation,
+    stratum_rng,
+    uniform_allocation,
+)
 from .sdc import (
     STEERING_THRESHOLDS,
     SDCCriterion,
@@ -41,6 +50,7 @@ __all__ = [
     "CampaignSpec",
     "ConsecutiveBitFlip",
     "DEFAULT_CACHE_BUDGET_BYTES",
+    "DEFAULT_INTERVAL_METHOD",
     "DEFAULT_MAX_ULPS",
     "EquivalenceMode",
     "FaultInjectionCampaign",
@@ -55,12 +65,18 @@ __all__ = [
     "SDCCriterion",
     "SingleBitFlip",
     "SteeringDeviation",
+    "Stratification",
+    "StratumSpace",
     "StuckAtZeroFault",
     "TopKMisclassification",
     "compare_protection",
     "criteria_for_model",
     "downstream_nodes",
+    "largest_remainder",
     "last_layer_exclusions",
+    "neyman_allocation",
     "shard_plans",
+    "stratum_rng",
     "trial_rng",
+    "uniform_allocation",
 ]

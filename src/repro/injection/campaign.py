@@ -55,6 +55,26 @@ verdicts in practice, outputs within a few float64 ULPs of the batch-1
 replay) and report the maximum deviation actually observed.  The default
 ``batch_trials=1`` path remains bit-exact (``EXACT``).
 
+Adaptive campaigns
+------------------
+
+``run(target_half_width=...)`` executes the pre-sampled trials in waves
+and stops once the confidence-interval half-width on every criterion
+reaches the target — the statistical analogue of the kernel-level wins
+above: a campaign whose SDC rate is far from 0.5 needs a small fraction
+of the worst-case budget to pin its rate down.  Because plans are
+pre-sampled for the whole budget and every trial keeps its index-keyed
+:func:`trial_rng` stream, a stopped campaign is *bit-identical to a
+prefix* of the fixed-budget run — adaptivity changes when the campaign
+stops looking, never what any trial computes — and composes with every
+backend above (each wave chunk goes through the same pool → workers →
+batched → serial dispatch).  ``run(strata=Stratification(...))``
+additionally importance-samples the fault space: trials are allocated
+across (layer × bit-band) strata — uniformly at first, then toward
+strata whose verdicts are still uncertain — and the result carries
+per-stratum counters that reweight into unbiased Horvitz–Thompson rate
+estimates (see :mod:`repro.injection.sampling`).
+
 For experiment sweeps that run many campaigns back-to-back (the fig6 /
 fig9 / fig11-style grids), :class:`~repro.injection.pool.CampaignPool`
 keeps worker processes — and their models, executors and golden activation
@@ -66,6 +86,7 @@ the same pure-function spec either way).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -74,13 +95,17 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
 
 import numpy as np
 
-from ..analysis.metrics import merge_count_dicts
+from ..analysis.metrics import (INTERVAL_METHODS, binomial_interval,
+                                merge_count_dicts, merge_partial_count_dicts,
+                                stratified_interval, stratified_rate)
 from ..analysis.reporting import equivalence_note
 from ..graph import DTypePolicy, Executor
 from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
 from ..models.base import Model
 from .fault_models import FaultModel, FaultSpec, SingleBitFlip
 from .injector import FaultInjector, InjectionPlan
+from .sampling import (Stratification, StratumKey, StratumSpace,
+                       neyman_allocation, stratum_rng, uniform_allocation)
 from .sdc import SDCCriterion, criteria_for_model
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
@@ -98,6 +123,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
 #: budget for deployments where worker-side compute is the scarce resource
 #: (e.g. heavily oversubscribed hosts), or set 0 to never ship.
 DEFAULT_CACHE_BUDGET_BYTES = 1 * 2 ** 20
+
+#: First spawn-key element of the plan-sampling stream
+#: (:meth:`FaultInjectionCampaign.generate_plans`): a two-element key, so
+#: it can never collide with the single-element per-trial keys of
+#: :func:`trial_rng` (SeedSequence keys of different lengths are distinct
+#: streams) nor with the per-stratum keys rooted at
+#: :data:`~repro.injection.sampling.STRATUM_STREAM_KEY`.
+PLAN_STREAM_KEY = 1
+
+#: Interval method campaign statistics default to (see
+#: :func:`repro.analysis.binomial_interval`).  Wilson score: unlike the
+#: old normal approximation, its error bars stay honest at the extreme
+#: rates protected models produce — at 0 observed SDCs it reports the
+#: correct nonzero upper bound instead of a degenerate ±~0% bar.
+DEFAULT_INTERVAL_METHOD = "wilson"
+
+#: Fraction of the trial budget one adaptive wave runs when the caller
+#: does not pass ``wave_trials`` explicitly.
+DEFAULT_WAVE_FRACTION = 0.1
 
 #: Union-cone budget of the cross-site batch packer
 #: (:meth:`FaultInjectionCampaign.pack_batches`): a trial joins a batch only
@@ -191,6 +235,39 @@ class CampaignResult:
     elements_evaluated: int = 0
     elements_full: int = 0
     dense_fallback_nodes: int = 0
+    #: Interval method every rate statistic of this result uses (a
+    #: :data:`repro.analysis.INTERVAL_METHODS` member).
+    interval_method: str = DEFAULT_INTERVAL_METHOD
+    #: Adaptive-campaign metadata (all zero / ``None`` for fixed-budget
+    #: runs): the trial budget the campaign was allowed, how many waves it
+    #: actually ran, and the CI half-width it was asked to reach.
+    #: ``trials < trials_budget`` means the stopping rule fired early.
+    trials_budget: int = 0
+    waves: int = 0
+    target_half_width: Optional[float] = None
+    #: Stratified-sampling accounting (all empty for uniform campaigns).
+    #: ``stratum_weights[h]`` is the probability a *uniform* fault lands in
+    #: stratum ``h`` (``q_h``, summing to 1 over the stratum space);
+    #: ``stratum_trials[h]`` / ``stratum_sdc_counts[criterion][h]`` are the
+    #: trials allocated to and SDC counts observed in ``h``.  All three
+    #: merge additively / by union, so shards stay order-insensitive.
+    #: When present, ``sdc_rate`` / ``confidence_interval`` return the
+    #: Horvitz–Thompson reweighted (unbiased) statistics instead of the
+    #: allocation-biased raw ``sdc_counts / trials`` ratio.
+    stratum_weights: Dict[StratumKey, float] = field(default_factory=dict)
+    stratum_trials: Dict[StratumKey, int] = field(default_factory=dict)
+    stratum_sdc_counts: Dict[str, Dict[StratumKey, int]] = field(
+        default_factory=dict)
+
+    @property
+    def is_stratified(self) -> bool:
+        """Whether rates are Horvitz–Thompson estimates over strata."""
+        return bool(self.stratum_trials)
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether the sequential stopping rule fired before the budget."""
+        return 0 < self.trials < self.trials_budget
 
     @property
     def sparse_evaluated_fraction(self) -> Optional[float]:
@@ -225,9 +302,20 @@ class CampaignResult:
         return self.nodes_recomputed / self.nodes_full
 
     def sdc_rate(self, criterion: str) -> float:
-        """SDC rate (fraction in [0, 1]) for one criterion."""
+        """SDC rate (fraction in [0, 1]) for one criterion.
+
+        For stratified campaigns this is the unbiased Horvitz–Thompson
+        estimate (per-stratum rates reweighted by the strata's share of
+        the fault space, see :func:`repro.analysis.stratified_rate`) —
+        the raw ``sdc_counts / trials`` ratio is biased by the adaptive
+        allocation and remains available through those fields directly.
+        """
         if self.trials == 0:
             return 0.0
+        if self.is_stratified:
+            return stratified_rate(self.stratum_weights,
+                                   self.stratum_sdc_counts[criterion],
+                                   self.stratum_trials)
         return self.sdc_counts[criterion] / self.trials
 
     def sdc_rate_percent(self, criterion: str) -> float:
@@ -235,16 +323,31 @@ class CampaignResult:
 
     def confidence_interval(self, criterion: str,
                             z: float = 1.96) -> Tuple[float, float]:
-        """95% normal-approximation confidence interval on the SDC rate."""
-        p = self.sdc_rate(criterion)
+        """Confidence interval on the SDC rate (95% for the default z).
+
+        Computed by ``interval_method`` — Wilson score by default, which
+        (unlike the normal approximation this result used to apply) keeps
+        a correct nonzero upper bound when 0 SDCs were observed.
+        Stratified campaigns get the normal-approximation interval of the
+        Horvitz–Thompson estimator with Jeffreys-smoothed per-stratum
+        variances (:func:`repro.analysis.stratified_interval`).
+        """
         if self.trials == 0:
             return 0.0, 0.0
-        half = z * np.sqrt(max(p * (1.0 - p), 1e-12) / self.trials)
-        return max(0.0, p - half), min(1.0, p + half)
+        if self.is_stratified:
+            return stratified_interval(self.stratum_weights,
+                                       self.stratum_sdc_counts[criterion],
+                                       self.stratum_trials, z=z)
+        return binomial_interval(self.sdc_counts[criterion], self.trials,
+                                 z=z, method=self.interval_method)
+
+    def half_width(self, criterion: str, z: float = 1.96) -> float:
+        """CI half-width on one criterion — the stopping-rule statistic."""
+        low, high = self.confidence_interval(criterion, z)
+        return (high - low) / 2.0
 
     def error_bar_percent(self, criterion: str, z: float = 1.96) -> float:
-        low, high = self.confidence_interval(criterion, z)
-        return 100.0 * (high - low) / 2.0
+        return 100.0 * self.half_width(criterion, z)
 
     @property
     def criteria(self) -> List[str]:
@@ -278,6 +381,29 @@ class CampaignResult:
                     f"cannot merge shards with different equivalence "
                     f"guarantees: {first.equivalence} vs. "
                     f"{other.equivalence}")
+            if other.interval_method != first.interval_method:
+                raise ValueError(
+                    f"cannot merge shards with different interval methods: "
+                    f"{first.interval_method} vs. {other.interval_method}")
+        # Stratum weights describe the stratum *space*, not a shard's
+        # sample, so overlapping shards must agree on them; trials and
+        # counts are per-shard samples and merge additively by key union.
+        stratum_weights: Dict[StratumKey, float] = {}
+        for shard in shards:
+            for key, weight in shard.stratum_weights.items():
+                if key in stratum_weights and stratum_weights[key] != weight:
+                    raise ValueError(
+                        f"cannot merge shards with conflicting weights for "
+                        f"stratum {key}: {stratum_weights[key]} vs. {weight}")
+                stratum_weights[key] = weight
+        stratum_trials = merge_partial_count_dicts(
+            s.stratum_trials for s in shards)
+        criteria_with_strata = {name for s in shards
+                                for name in s.stratum_sdc_counts}
+        stratum_sdc_counts = {
+            name: merge_partial_count_dicts(
+                s.stratum_sdc_counts.get(name, {}) for s in shards)
+            for name in sorted(criteria_with_strata)}
         return cls(
             model_name=first.model_name,
             fault_model=first.fault_model,
@@ -295,12 +421,37 @@ class CampaignResult:
             elements_evaluated=sum(s.elements_evaluated for s in shards),
             elements_full=sum(s.elements_full for s in shards),
             dense_fallback_nodes=sum(s.dense_fallback_nodes for s in shards),
+            interval_method=first.interval_method,
+            trials_budget=max(s.trials_budget for s in shards),
+            waves=max(s.waves for s in shards),
+            target_half_width=next(
+                (s.target_half_width for s in shards
+                 if s.target_half_width is not None), None),
+            stratum_weights=stratum_weights,
+            stratum_trials=stratum_trials,
+            stratum_sdc_counts=stratum_sdc_counts,
         )
 
     def summary(self) -> str:
         lines = [f"{self.model_name} [{self.fault_model}] — {self.trials} trials"]
         lines.append(
             "  " + equivalence_note(self.equivalence, self.max_ulp_deviation))
+        if self.trials_budget:
+            stopped = ("stopped early" if self.stopped_early
+                       else "budget exhausted")
+            target = (f", target ±{100.0 * self.target_half_width:.2f}%"
+                      if self.target_half_width is not None else "")
+            lines.append(
+                f"  adaptive: {self.trials}/{self.trials_budget} trials in "
+                f"{self.waves} waves ({stopped}{target})")
+        if self.is_stratified:
+            lines.append(
+                f"  stratified: {len(self.stratum_trials)} strata sampled "
+                f"(of {len(self.stratum_weights)}); rates are "
+                f"Horvitz–Thompson reweighted")
+        method = ("stratified-ht" if self.is_stratified
+                  else self.interval_method)
+        lines.append(f"  intervals: {method}")
         if self.batch_count:
             lines.append(
                 f"  batched: {self.batched_trials}/{self.trials} trials "
@@ -427,8 +578,16 @@ class FaultInjectionCampaign:
         is a pure function of the campaign seed: parallel runs ship these
         pre-sampled pairs to the workers, so chunking and worker count
         cannot perturb them.
+
+        The input-index stream is the ``(PLAN_STREAM_KEY, 0)``-keyed child
+        of the campaign seed's ``SeedSequence`` — a properly spawned
+        stream, statistically independent of every per-trial and
+        per-stratum stream by construction (the old ``seed + 1`` ad-hoc
+        derivation could collide with a sibling campaign seeded at
+        ``seed + 1``).
         """
-        rng = np.random.default_rng(self.seed + 1)
+        rng = np.random.default_rng(np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(PLAN_STREAM_KEY, 0)))
         input_indices = rng.integers(len(self.inputs), size=trials)
         plans = self.injector.sample_plans(trials)
         return [(int(index), plan)
@@ -457,6 +616,11 @@ class FaultInjectionCampaign:
                                     List[int]]] = None,
             pool: Optional["CampaignPool"] = None,
             sparse_delta: bool = True,
+            target_half_width: Optional[float] = None,
+            wave_trials: Optional[int] = None,
+            strata: Optional[Stratification] = None,
+            z: float = 1.96,
+            interval_method: str = DEFAULT_INTERVAL_METHOD,
             ) -> CampaignResult:
         """Run the campaign and return aggregated SDC statistics.
 
@@ -532,6 +696,38 @@ class FaultInjectionCampaign:
             ``dense_fallback_nodes`` counters (and
             ``sparse_evaluated_fraction``) quantify what the sparse path
             saved.  Ignored by the full (``incremental=False``) path.
+        target_half_width:
+            When set, the campaign runs **adaptively**: trials execute in
+            waves of ``wave_trials`` each, and the campaign stops as soon
+            as the CI half-width on *every* criterion drops to the target
+            (or the ``trials`` budget is exhausted).  Because plans are
+            pre-sampled and every trial keeps its index-keyed
+            :func:`trial_rng` stream, a stopped campaign is bit-identical
+            to the same-length *prefix* of the fixed-budget run — only the
+            point at which it stops looking is adaptive.  The returned
+            result records ``trials_budget`` / ``waves`` /
+            ``target_half_width``.
+        wave_trials:
+            Trials per adaptive wave; defaults to 10% of the budget
+            (stratified campaigns bump it to at least one trial per
+            stratum so the uniform first wave covers the space).  Setting
+            it without a target runs waves to the full budget — useful
+            with ``strata`` for pure importance sampling.
+        strata:
+            A :class:`~repro.injection.sampling.Stratification`: the
+            campaign partitions the fault space into (layer band × bit
+            band) strata, allocates the first wave uniformly and later
+            waves Neyman-style toward strata with uncertain verdicts, and
+            reports unbiased Horvitz–Thompson rates (see the result's
+            ``stratum_*`` fields).  Sampling leaves the uniform
+            distribution *within* each stratum untouched; only the
+            between-strata allocation adapts, and the reweighting removes
+            that bias.  Mutually exclusive with explicit ``plans``.
+        z:
+            Critical value of the stopping rule's intervals (1.96 ≈ 95%).
+        interval_method:
+            Interval flavour for the result's statistics and the stopping
+            rule: ``"wilson"`` (default), ``"jeffreys"`` or ``"normal"``.
         """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
@@ -540,6 +736,10 @@ class FaultInjectionCampaign:
         if batch_trials < 1:
             raise ValueError(
                 f"batch_trials must be positive, got {batch_trials}")
+        if interval_method not in INTERVAL_METHODS:
+            raise ValueError(
+                f"unknown interval method {interval_method!r}; expected one "
+                f"of {INTERVAL_METHODS}")
         mode = EquivalenceMode.coerce(
             equivalence, EquivalenceMode.EXACT if batch_trials == 1
             else EquivalenceMode.ULP_TOLERANT)
@@ -554,8 +754,54 @@ class FaultInjectionCampaign:
                 raise ValueError(
                     "batch_trials > 1 requires the incremental engine "
                     "(batched replay resumes from golden activation caches)")
+        adaptive = (target_half_width is not None or strata is not None
+                    or wave_trials is not None)
+        if adaptive:
+            if packing is not None:
+                raise ValueError(
+                    "adaptive campaigns pack each wave's chunk themselves; "
+                    "precomputed packing is only valid for fixed plan lists")
+            if trial_offset:
+                raise ValueError(
+                    "adaptive campaigns own the whole trial index space; "
+                    "trial_offset must be 0")
+            return _run_adaptive_group(
+                [self], trials=trials, plans=plans, wave_trials=wave_trials,
+                target_half_width=target_half_width, strata=strata, z=z,
+                interval_method=interval_method, keep_faults=keep_faults,
+                incremental=incremental, workers=workers,
+                batch_trials=batch_trials, mode=mode, max_ulps=max_ulps,
+                cache_budget_bytes=cache_budget_bytes, pool=pool,
+                sparse_delta=sparse_delta)[0]
         if plans is None:
             plans = self.generate_plans(trials)
+        result = self._dispatch(plans, keep_faults=keep_faults,
+                                incremental=incremental, workers=workers,
+                                trial_offset=trial_offset,
+                                batch_trials=batch_trials, mode=mode,
+                                max_ulps=max_ulps,
+                                cache_budget_bytes=cache_budget_bytes,
+                                packing=packing, pool=pool,
+                                sparse_delta=sparse_delta)
+        result.interval_method = interval_method
+        return result
+
+    def _dispatch(self, plans: List[Tuple[int, InjectionPlan]], *,
+                  keep_faults: bool, incremental: bool, workers: int,
+                  trial_offset: int, batch_trials: int,
+                  mode: EquivalenceMode, max_ulps: float,
+                  cache_budget_bytes: int,
+                  packing: Optional[Tuple[List[Tuple[int, List[int]]],
+                                          List[int]]],
+                  pool: Optional["CampaignPool"],
+                  sparse_delta: bool) -> CampaignResult:
+        """Run one fixed plan list through the backend dispatch.
+
+        The pool → workers → batched → serial routing shared by
+        fixed-budget runs (one call) and adaptive runs (one call per wave
+        chunk, anchored by ``trial_offset``); parameters are pre-validated
+        by :meth:`run`.
+        """
         if pool is not None and len(plans) > 1:
             return pool.run_plans(self, plans, keep_faults=keep_faults,
                                   incremental=incremental,
@@ -993,6 +1239,159 @@ def _run_campaign_shard(spec: CampaignSpec,
                         max_ulps=max_ulps, sparse_delta=sparse_delta)
 
 
+def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
+                        trials: int,
+                        plans: Optional[List[Tuple[int, InjectionPlan]]],
+                        wave_trials: Optional[int],
+                        target_half_width: Optional[float],
+                        strata: Optional[Stratification],
+                        z: float, interval_method: str,
+                        keep_faults: bool, incremental: bool, workers: int,
+                        batch_trials: int, mode: EquivalenceMode,
+                        max_ulps: float, cache_budget_bytes: int,
+                        pool: Optional["CampaignPool"],
+                        sparse_delta: bool) -> List[CampaignResult]:
+    """Drive one or more same-seed campaigns through adaptive waves.
+
+    The sequential-stopping / stratified-allocation engine behind
+    ``run(target_half_width=..., strata=...)`` and the adaptive
+    :func:`compare_protection`.  ``campaigns[0]`` is the *leader*: it
+    samples every plan (and packs every batched chunk) exactly once, and
+    each wave's chunks are dispatched to **every** campaign with the same
+    global ``trial_offset`` — so a paired group replays identical faults
+    with identical per-trial RNG streams, and the whole group stops
+    together on the first wave at which *all* campaigns meet the target
+    (each arm's result is still exactly a prefix of its own fixed-budget
+    run; the slower-converging arm just sets the common stop point).
+
+    Without ``strata``, plans are pre-sampled for the full budget up
+    front and waves are consecutive slices, which is what makes a stopped
+    campaign bit-identical to the same-length prefix of the fixed-budget
+    run.  With ``strata``, each stratum draws plans from its own
+    :func:`~repro.injection.sampling.stratum_rng` stream as its
+    allocation grows (the first wave is uniform across strata, later
+    waves Neyman-allocated toward uncertain strata), chunk results are
+    tagged with per-stratum counters, and the merged results report
+    unbiased Horvitz–Thompson rates.
+    """
+    leader = campaigns[0]
+    if target_half_width is not None and not 0.0 < target_half_width < 1.0:
+        raise ValueError(
+            f"target_half_width must be in (0, 1), got {target_half_width}")
+    if strata is not None and plans is not None:
+        raise ValueError(
+            "stratified campaigns sample their own per-stratum plans; "
+            "pass trials (the budget) instead of explicit plans")
+    budget = len(plans) if plans is not None else trials
+    if budget <= 0:
+        raise ValueError("adaptive campaigns need a positive trial budget")
+    if wave_trials is not None and wave_trials < 1:
+        raise ValueError(f"wave_trials must be positive, got {wave_trials}")
+    wave = (wave_trials if wave_trials is not None
+            else max(1, math.ceil(budget * DEFAULT_WAVE_FRACTION)))
+
+    partials: List[List[CampaignResult]] = [[] for _ in campaigns]
+    merged: List[Optional[CampaignResult]] = [None] * len(campaigns)
+
+    def dispatch(index: int, chunk, offset: int, packing) -> CampaignResult:
+        partial = campaigns[index]._dispatch(
+            chunk, keep_faults=keep_faults, incremental=incremental,
+            workers=workers, trial_offset=offset, batch_trials=batch_trials,
+            mode=mode, max_ulps=max_ulps,
+            cache_budget_bytes=cache_budget_bytes, packing=packing,
+            pool=pool, sparse_delta=sparse_delta)
+        partial.interval_method = interval_method
+        return partial
+
+    def pack(chunk):
+        # Same policy as fixed-budget runs: the leader packs once per
+        # (serial, batched) chunk and every campaign replays the same
+        # groups; parallel/pool backends pack their own shards.
+        if batch_trials > 1 and workers == 1 and pool is None:
+            return leader.pack_batches(chunk, batch_trials)
+        return None
+
+    def target_reached() -> bool:
+        if target_half_width is None:
+            return False
+        return all(
+            result is not None
+            and all(result.half_width(criterion, z=z) <= target_half_width
+                    for criterion in result.criteria)
+            for result in merged)
+
+    waves_run = 0
+    done = 0
+    if strata is None:
+        if plans is None:
+            plans = leader.generate_plans(budget)
+        while done < budget and not target_reached():
+            chunk = list(plans[done:done + min(wave, budget - done)])
+            packing = pack(chunk)
+            for index in range(len(campaigns)):
+                partials[index].append(dispatch(index, chunk, done, packing))
+                merged[index] = CampaignResult.merge(partials[index])
+            done += len(chunk)
+            waves_run += 1
+    else:
+        space = StratumSpace(leader.injector._site_sizes,
+                             leader.fault_model, strata)
+        wave = max(wave, len(space))
+        streams = {key: stratum_rng(leader.seed, index)
+                   for index, key in enumerate(space.keys)}
+        stratum_trials: Dict[StratumKey, int] = {key: 0 for key in space.keys}
+        stratum_successes = [
+            {criterion.name: {key: 0 for key in space.keys}
+             for criterion in campaign.criteria}
+            for campaign in campaigns]
+        while done < budget and not target_reached():
+            wave_budget = min(wave, budget - done)
+            if waves_run == 0:
+                allocation = uniform_allocation(space, wave_budget)
+            else:
+                stats = {key: [(per_criterion[key], stratum_trials[key])
+                               for successes in stratum_successes
+                               for per_criterion in successes.values()]
+                         for key in space.keys}
+                allocation = neyman_allocation(space, wave_budget, stats)
+            for key in space.keys:
+                count = allocation.get(key, 0)
+                if count == 0:
+                    continue
+                stream = streams[key]
+                input_indices = stream.integers(len(leader.inputs),
+                                                size=count)
+                stratum_plans = space.sample_stratum_plans(
+                    leader.injector, key, count, stream)
+                chunk = [(int(input_index), plan) for input_index, plan
+                         in zip(input_indices, stratum_plans)]
+                packing = pack(chunk)
+                for index in range(len(campaigns)):
+                    partial = dispatch(index, chunk, done, packing)
+                    partial.stratum_weights = dict(space.weights)
+                    partial.stratum_trials = {key: partial.trials}
+                    partial.stratum_sdc_counts = {
+                        name: {key: count_} for name, count_
+                        in partial.sdc_counts.items()}
+                    for name, count_ in partial.sdc_counts.items():
+                        stratum_successes[index][name][key] += count_
+                    partials[index].append(partial)
+                stratum_trials[key] += count
+                done += count
+            for index in range(len(campaigns)):
+                merged[index] = CampaignResult.merge(partials[index])
+            waves_run += 1
+
+    results: List[CampaignResult] = []
+    for result in merged:
+        assert result is not None  # budget > 0 ⇒ at least one wave ran
+        result.trials_budget = budget
+        result.waves = waves_run
+        result.target_half_width = target_half_width
+        results.append(result)
+    return results
+
+
 def compare_protection(unprotected: Model, protected: Model,
                        inputs: np.ndarray,
                        fault_model: Optional[FaultModel] = None,
@@ -1005,6 +1404,11 @@ def compare_protection(unprotected: Model, protected: Model,
                        equivalence=None,
                        pool: Optional["CampaignPool"] = None,
                        sparse_delta: bool = True,
+                       target_half_width: Optional[float] = None,
+                       wave_trials: Optional[int] = None,
+                       strata: Optional[Stratification] = None,
+                       z: float = 1.96,
+                       interval_method: str = DEFAULT_INTERVAL_METHOD,
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
@@ -1023,6 +1427,13 @@ def compare_protection(unprotected: Model, protected: Model,
     bit-aligned and halves the packing work.  ``pool`` fans both campaigns
     out over one persistent worker pool (see
     :class:`~repro.injection.pool.CampaignPool`).
+
+    ``target_half_width`` / ``wave_trials`` / ``strata`` run the pair
+    **adaptively** (see :meth:`FaultInjectionCampaign.run`) while keeping
+    it paired: both arms replay the same wave chunks and stop together on
+    the first wave at which *both* have met the target on every criterion
+    — i.e. on the max of the arms' individually-required waves — so the
+    paired-difference structure survives early stopping.
     """
     base = FaultInjectionCampaign(unprotected, inputs, fault_model=fault_model,
                                   criteria=criteria, dtype_policy=dtype_policy,
@@ -1030,14 +1441,31 @@ def compare_protection(unprotected: Model, protected: Model,
     guarded = FaultInjectionCampaign(protected, inputs, fault_model=fault_model,
                                      criteria=criteria,
                                      dtype_policy=dtype_policy, seed=seed)
+    if (target_half_width is not None or strata is not None
+            or wave_trials is not None):
+        mode = EquivalenceMode.coerce(
+            equivalence, EquivalenceMode.EXACT if batch_trials == 1
+            else EquivalenceMode.ULP_TOLERANT)
+        results = _run_adaptive_group(
+            [base, guarded], trials=trials, plans=None,
+            wave_trials=wave_trials, target_half_width=target_half_width,
+            strata=strata, z=z, interval_method=interval_method,
+            keep_faults=False, incremental=incremental, workers=workers,
+            batch_trials=batch_trials, mode=mode,
+            max_ulps=DEFAULT_MAX_ULPS,
+            cache_budget_bytes=DEFAULT_CACHE_BUDGET_BYTES, pool=pool,
+            sparse_delta=sparse_delta)
+        return results[0], results[1]
     plans = base.generate_plans(trials)
     packing = None
     if batch_trials > 1 and workers == 1 and pool is None:
         packing = base.pack_batches(plans, batch_trials)
     return (base.run(plans=plans, incremental=incremental, workers=workers,
                      batch_trials=batch_trials, equivalence=equivalence,
-                     packing=packing, pool=pool, sparse_delta=sparse_delta),
+                     packing=packing, pool=pool, sparse_delta=sparse_delta,
+                     interval_method=interval_method),
             guarded.run(plans=plans, incremental=incremental, workers=workers,
                         batch_trials=batch_trials, equivalence=equivalence,
                         packing=packing, pool=pool,
-                        sparse_delta=sparse_delta))
+                        sparse_delta=sparse_delta,
+                        interval_method=interval_method))

@@ -54,6 +54,23 @@ class FaultModel:
         """Return ``(corrupted_value, bit_position_or_None)``."""
         raise NotImplementedError
 
+    def corrupt_in_band(self, value: float, rng: np.random.Generator,
+                        bit_low: int, bit_high: int
+                        ) -> Tuple[float, Optional[int]]:
+        """Corrupt with the flipped bit restricted to ``[bit_low, bit_high)``.
+
+        The stratum-conditional corruption used by importance-sampled
+        campaigns (``injection.sampling``): a stratum pins the *band* the
+        bit is drawn from, the draw within the band stays uniform, and one
+        generator draw is consumed — same as :meth:`corrupt` — so banded
+        trials keep the per-trial RNG stream discipline.  Fault models
+        without per-bit semantics raise; stratify those on layer bands
+        only (``Stratification(bit_bands=1)``).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no bit positions to stratify over; "
+            f"use bit_bands=1 for this fault model")
+
     def describe(self) -> str:
         raise NotImplementedError
 
@@ -77,7 +94,16 @@ class SingleBitFlip(FaultModel):
 
     def corrupt(self, value: float, rng: np.random.Generator
                 ) -> Tuple[float, Optional[int]]:
-        bit = int(rng.integers(self.total_bits))
+        return self.corrupt_in_band(value, rng, 0, self.total_bits)
+
+    def corrupt_in_band(self, value: float, rng: np.random.Generator,
+                        bit_low: int, bit_high: int
+                        ) -> Tuple[float, Optional[int]]:
+        if not 0 <= bit_low < bit_high <= self.total_bits:
+            raise ValueError(
+                f"bit band [{bit_low}, {bit_high}) out of range for a "
+                f"{self.total_bits}-bit representation")
+        bit = bit_low + int(rng.integers(bit_high - bit_low))
         if self.fmt == "float32":
             return flip_float32_bit(value, bit), bit
         return self.fmt.flip_bit(value, bit), bit
@@ -104,9 +130,18 @@ class MultiBitFlip(FaultModel):
         self.single = SingleBitFlip(fmt)
         self.sites_per_event = self.num_bits
 
+    @property
+    def total_bits(self) -> int:
+        return self.single.total_bits
+
     def corrupt(self, value: float, rng: np.random.Generator
                 ) -> Tuple[float, Optional[int]]:
         return self.single.corrupt(value, rng)
+
+    def corrupt_in_band(self, value: float, rng: np.random.Generator,
+                        bit_low: int, bit_high: int
+                        ) -> Tuple[float, Optional[int]]:
+        return self.single.corrupt_in_band(value, rng, bit_low, bit_high)
 
     def describe(self) -> str:
         return f"multi-bit-flip[{self.num_bits} x {self.single.describe()}]"

@@ -69,12 +69,34 @@ def last_layer_exclusions(model: Model) -> Set[str]:
 
 @dataclass
 class InjectionPlan:
-    """A concrete set of (node, element, ...) sites chosen for one trial."""
+    """A concrete set of (node, element, ...) sites chosen for one trial.
+
+    ``bit_ranges``, when present, aligns with ``sites`` and restricts the
+    bit position the fault model may flip at that site to ``[low, high)``
+    — the stratum-conditional plans importance-sampled campaigns draw
+    (see :mod:`repro.injection.sampling`).  ``None`` (the default, and the
+    per-entry value for unrestricted sites) keeps the fault model's full
+    bit range, which is byte-compatible with every pre-existing plan.
+    """
 
     sites: List[Tuple[str, int]]
+    bit_ranges: Optional[List[Optional[Tuple[int, int]]]] = None
+
+    def __post_init__(self) -> None:
+        if (self.bit_ranges is not None
+                and len(self.bit_ranges) != len(self.sites)):
+            raise ValueError(
+                f"bit_ranges must align with sites: got {len(self.bit_ranges)}"
+                f" ranges for {len(self.sites)} sites")
 
     def node_names(self) -> Set[str]:
         return {name for name, _ in self.sites}
+
+    def site_items(self) -> List[Tuple[str, int, Optional[Tuple[int, int]]]]:
+        """``(node, element, bit_range_or_None)`` triples, in site order."""
+        ranges = self.bit_ranges or [None] * len(self.sites)
+        return [(name, element, band)
+                for (name, element), band in zip(self.sites, ranges)]
 
     # -- serialization (worker fan-out) -----------------------------------
 
@@ -83,14 +105,32 @@ class InjectionPlan:
 
         Multiprocess campaigns ship thousands of plans to worker processes;
         sending bare ``(node, element)`` tuples keeps the pickled campaign
-        spec small and independent of this class's layout.
+        spec small and independent of this class's layout.  Bit-banded
+        sites travel as ``(node, element, low, high)`` 4-tuples; plain
+        sites keep the legacy 2-tuple shape, so unstratified payloads are
+        byte-identical to previous releases.
         """
-        return [(str(name), int(element)) for name, element in self.sites]
+        out: List[Tuple] = []
+        for name, element, band in self.site_items():
+            if band is None:
+                out.append((str(name), int(element)))
+            else:
+                out.append((str(name), int(element),
+                            int(band[0]), int(band[1])))
+        return out
 
     @classmethod
-    def from_payload(cls, payload: Sequence[Tuple[str, int]]) -> "InjectionPlan":
+    def from_payload(cls, payload: Sequence[Tuple]) -> "InjectionPlan":
         """Rebuild a plan from :meth:`to_payload` output."""
-        return cls(sites=[(name, int(element)) for name, element in payload])
+        sites: List[Tuple[str, int]] = []
+        bands: List[Optional[Tuple[int, int]]] = []
+        for entry in payload:
+            sites.append((entry[0], int(entry[1])))
+            bands.append((int(entry[2]), int(entry[3]))
+                         if len(entry) == 4 else None)
+        return cls(sites=sites,
+                   bit_ranges=bands if any(b is not None for b in bands)
+                   else None)
 
 
 class FaultInjector:
@@ -183,12 +223,26 @@ class FaultInjector:
         """
         return self.sample_plans(1)[0]
 
-    def sample_plans(self, count: int) -> List[InjectionPlan]:
+    def sample_plans(self, count: int,
+                     rng: Optional[np.random.Generator] = None,
+                     nodes: Optional[Sequence[str]] = None,
+                     bit_range: Optional[Tuple[int, int]] = None,
+                     ) -> List[InjectionPlan]:
         """Sample the fault sites for ``count`` trials in one vectorized draw.
 
         All node choices and element indices for the whole campaign come from
         a single ``rng.choice`` / ``rng.integers`` call each, instead of a
         Python loop per site.
+
+        ``rng``, ``nodes`` and ``bit_range`` support stratum-conditional
+        sampling (:mod:`repro.injection.sampling`): ``rng`` overrides the
+        injector's shared stream (each stratum keeps its own index-keyed
+        stream so allocations can grow without re-randomizing earlier
+        draws), ``nodes`` restricts the draw to a subset of injectable
+        nodes (still size-proportional *within* the subset, i.e. uniform
+        over that stratum's values), and ``bit_range`` stamps every sampled
+        site with a ``[low, high)`` bit band.  Defaults reproduce the
+        unconditional draw bit-for-bit.
         """
         if self._site_sizes is None:
             raise InjectionError("call profile_state_space() first")
@@ -196,40 +250,68 @@ class FaultInjector:
             raise ValueError(f"count must be non-negative, got {count}")
         if count == 0:
             return []
-        names = list(self._site_sizes.keys())
+        gen = rng if rng is not None else self.rng
+        if nodes is None:
+            names = list(self._site_sizes.keys())
+        else:
+            names = [n for n in nodes if n in self._site_sizes]
+            if not names:
+                raise InjectionError(
+                    f"none of the requested nodes are injectable: "
+                    f"{sorted(nodes)}")
         sizes = np.array([self._site_sizes[n] for n in names], dtype=np.float64)
         probs = sizes / sizes.sum()
         per_event = self.fault_model.sites_per_event
         total = count * per_event
-        node_idx = self.rng.choice(len(names), size=total, p=probs)
-        elements = self.rng.integers(sizes[node_idx].astype(np.int64))
+        node_idx = gen.choice(len(names), size=total, p=probs)
+        elements = gen.integers(sizes[node_idx].astype(np.int64))
         sites = [(names[int(n)], int(e)) for n, e in zip(node_idx, elements)]
-        return [InjectionPlan(sites=sites[i * per_event:(i + 1) * per_event])
+        bands = (None if bit_range is None
+                 else [(int(bit_range[0]), int(bit_range[1]))] * per_event)
+        return [InjectionPlan(sites=sites[i * per_event:(i + 1) * per_event],
+                              bit_ranges=list(bands) if bands else None)
                 for i in range(count)]
 
     # -- injection -------------------------------------------------------------------
 
     @staticmethod
-    def _group_sites(plan: InjectionPlan) -> Dict[str, List[int]]:
-        pending: Dict[str, List[int]] = {}
-        for node_name, element in plan.sites:
-            pending.setdefault(node_name, []).append(element)
+    def _group_sites(plan: InjectionPlan
+                     ) -> Dict[str, List[Tuple[int, Optional[Tuple[int, int]]]]]:
+        """Group a plan's sites by node as ``(element, bit_band)`` items.
+
+        The band is ``None`` for unrestricted sites; the corruption inner
+        loops dispatch on it so banded and plain sites share one code path.
+        """
+        pending: Dict[str, List[Tuple[int, Optional[Tuple[int, int]]]]] = {}
+        for node_name, element, band in plan.site_items():
+            pending.setdefault(node_name, []).append((element, band))
         return pending
 
+    def _corrupt_value(self, original: float, band: Optional[Tuple[int, int]],
+                       rng: np.random.Generator
+                       ) -> Tuple[float, Optional[int]]:
+        """One fault-model draw, band-restricted when the site carries one."""
+        if band is None:
+            return self.fault_model.corrupt(original, rng)
+        return self.fault_model.corrupt_in_band(original, rng,
+                                                band[0], band[1])
+
     def _corrupt_flat(self, node_name: str, flat: np.ndarray,
-                      elements: Sequence[int], applied: List[FaultSpec],
+                      elements: Sequence[Tuple[int, Optional[Tuple[int, int]]]],
+                      applied: List[FaultSpec],
                       rng: np.random.Generator) -> None:
         """Corrupt ``elements`` of one flattened activation *in place*.
 
         The single corruption inner loop shared by every injection entry
         point (full runs, cached replays and batched stacks), so the
         semantics — element wrapping, RNG consumption order, fault-record
-        contents — cannot drift between them.
+        contents — cannot drift between them.  ``elements`` holds the
+        ``(element, bit_band)`` items produced by :meth:`_group_sites`.
         """
-        for element in elements:
+        for element, band in elements:
             index = element % flat.size
             original = float(flat[index])
-            new_value, bit = self.fault_model.corrupt(original, rng)
+            new_value, bit = self._corrupt_value(original, band, rng)
             flat[index] = new_value
             applied.append(FaultSpec(node_name=node_name,
                                      element_index=index, bit=bit,
@@ -237,7 +319,9 @@ class FaultInjector:
                                      corrupted=new_value))
 
     def _corrupt_sparse(self, node_name: str, cached_flat: np.ndarray,
-                        elements: Sequence[int], applied: List[FaultSpec],
+                        elements: Sequence[Tuple[int,
+                                                 Optional[Tuple[int, int]]]],
+                        applied: List[FaultSpec],
                         rng: np.random.Generator,
                         ) -> Tuple[np.ndarray, np.ndarray]:
         """Corrupt ``elements`` of one golden activation as a sparse delta.
@@ -252,13 +336,13 @@ class FaultInjector:
         the mutated array.
         """
         current: Dict[int, float] = {}
-        for element in elements:
+        for element, band in elements:
             index = int(element % cached_flat.size)
             if index in current:
                 original = current[index]
             else:
                 original = float(cached_flat[index])
-            new_value, bit = self.fault_model.corrupt(original, rng)
+            new_value, bit = self._corrupt_value(original, band, rng)
             current[index] = new_value
             applied.append(FaultSpec(node_name=node_name,
                                      element_index=index, bit=bit,

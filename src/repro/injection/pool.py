@@ -22,6 +22,14 @@ campaign is a pure function of its spec (reuse only skips recomputing that
 pure function), so pooled results are **bit-identical** to fresh
 per-campaign runs for every pool size and reuse pattern — enforced by
 ``tests/test_union_cone_batching.py``.
+
+Adaptive campaigns (``run(target_half_width=...)``) lean on the pool the
+same way a sweep does: every wave is one more dispatch of the same spec,
+so across the many small waves of a sequentially-stopped campaign the
+workers' cached campaigns are rebuilt once and reused for the rest —
+wave granularity adds no per-wave rebuild cost.  The wave chunks carry
+global trial offsets, so pooled adaptive results stay bit-identical to
+the serial adaptive path (``tests/test_adaptive_campaign.py``).
 """
 
 from __future__ import annotations
