@@ -312,14 +312,24 @@ def merge_count_dicts(counts: Sequence[Mapping[str, int]]) -> Dict[str, int]:
 
 def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray,
                    k: int = 1) -> float:
-    """Fraction of rows whose true label is within the top-k predictions."""
+    """Fraction of rows whose true label is within the top-k predictions.
+
+    Ranks with a reversed *stable* argsort — tied scores rank
+    higher-index-first — matching the tie order of the SDC verdict paths
+    (``TopKMisclassification``, see ``injection/sdc.py``).  Under
+    fixed-point quantization tied logits are routine, and the default
+    introsort is only incidentally stable below ~16 elements, so without
+    ``kind="stable"`` a label tied at the top-k boundary could count as
+    correct here while the same outputs produce an SDC verdict (or vice
+    versa) for ≥64-class models.
+    """
     probabilities = np.asarray(probabilities)
     labels = np.asarray(labels).astype(int).reshape(-1)
     if probabilities.ndim != 2:
         raise ValueError(f"expected 2-D probabilities, got {probabilities.shape}")
     if k < 1 or k > probabilities.shape[1]:
         raise ValueError(f"k={k} out of range for {probabilities.shape[1]} classes")
-    top_k = np.argsort(probabilities, axis=1)[:, ::-1][:, :k]
+    top_k = np.argsort(probabilities, axis=1, kind="stable")[:, ::-1][:, :k]
     hits = (top_k == labels[:, None]).any(axis=1)
     return float(hits.mean())
 

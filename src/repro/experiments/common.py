@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import Ranger
+from ..core import ProtectionInfo, Ranger
 from ..injection import (
     CampaignPool,
     FaultInjectionCampaign,
@@ -26,6 +26,7 @@ from ..injection import (
 )
 from ..models import CLASSIFIER_MODELS, STEERING_MODELS, PreparedModel, prepare_model
 from ..quantization import FIXED16, FIXED32, fixed16_policy, fixed32_policy
+from ..service import ArtifactStore, CampaignServer, request_from_campaign
 
 #: Training configuration per model used by all experiments, calibrated so
 #: the small presets reach usable accuracy in minutes on a laptop.
@@ -63,6 +64,24 @@ class ExperimentScale:
     #: Campaign results are bit-identical for every value, so this is purely
     #: a wall-clock knob; 1 keeps everything in-process.
     workers: int = 1
+    #: Route the sweep grids' paired campaigns through the process-wide
+    #: campaign service (:func:`campaign_server`) — repeated
+    #: (model × dtype × protection) cells across figures are then served
+    #: from the content-addressed artifact store instead of re-running.
+    #: Results are bit-identical either way; False calls the campaign
+    #: engine directly.
+    use_service: bool = True
+    #: When set, each sweep cell runs **adaptively**: trials execute in
+    #: waves and the cell stops once every criterion's CI half-width fits
+    #: the target (``trials`` stays the hard budget).  Each stopped cell
+    #: is a bit-exact prefix of its own fixed-budget run.
+    target_half_width: Optional[float] = None
+    #: Trials per adaptive wave (defaults to the engine's 10%-of-budget).
+    wave_trials: Optional[int] = None
+    #: With a target set, False lets the two arms of each paired cell stop
+    #: independently (the protected arm's near-zero rates converge waves
+    #: earlier); True stops both arms together, preserving full pairing.
+    joint_stop: bool = True
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
@@ -113,11 +132,28 @@ def get_prepared(model_name: str, scale: ExperimentScale,
 
 def protect_with_ranger(prepared: PreparedModel, scale: ExperimentScale,
                         percentile: float = 100.0, policy: str = "clip"):
-    """Profile on a training-set sample and apply Ranger."""
+    """Profile on a training-set sample and apply Ranger.
+
+    The activation profile is cached in the process-wide artifact store
+    (keyed by model, profiling inputs and seed): the bound-percentile
+    sweeps re-protect the same model many times, and the profile — the
+    expensive part, one forward pass per profiling input — is identical
+    across percentiles because the percentile is applied at bound
+    *selection* time.
+    """
     ranger = Ranger(percentile=percentile, policy=policy, seed=scale.seed)
     sample, _ = prepared.dataset.sample_train(scale.profile_samples,
                                               seed=scale.seed)
-    return ranger.protect(prepared.model, profile_inputs=sample)
+    store = artifact_store()
+    key = ArtifactStore.ranger_profile_key(prepared.model, sample, scale.seed)
+    profile = store.get("ranger_profile", key)
+    if profile is None:
+        profile = ranger.profile(prepared.model, sample)
+        store.put("ranger_profile", key, profile)
+    bounds = ranger.select_bounds(profile)
+    protected, report = ranger.transform(prepared.model, bounds)
+    return protected, ProtectionInfo(bounds=bounds, report=report,
+                                     profile=profile)
 
 
 #: Process-wide persistent campaign pools, one per worker count, shared by
@@ -147,21 +183,81 @@ def campaign_pool(scale: ExperimentScale) -> Optional[CampaignPool]:
     return pool
 
 
+#: One content-addressed artifact store shared by every experiment (and
+#: every campaign server) in the process — cross-figure reuse of results,
+#: golden caches and Ranger profiles happens through it.
+_ARTIFACT_STORE: Optional[ArtifactStore] = None
+
+#: Process-wide campaign servers, one per worker count (each borrows the
+#: matching persistent pool and shares :data:`_ARTIFACT_STORE`).
+_CAMPAIGN_SERVERS: Dict[int, CampaignServer] = {}
+
+
+def artifact_store() -> ArtifactStore:
+    """The process-wide artifact store (created lazily, in-memory)."""
+    global _ARTIFACT_STORE
+    if _ARTIFACT_STORE is None:
+        _ARTIFACT_STORE = ArtifactStore()
+    return _ARTIFACT_STORE
+
+
+def campaign_server(scale: ExperimentScale) -> CampaignServer:
+    """The shared campaign server for ``scale.workers``.
+
+    Sweep grids submit their paired campaigns here instead of calling the
+    engine directly: every server shares one artifact store, so a
+    (model × dtype × protection) cell that already ran — in *any*
+    experiment of the process — is served from the result cache, and
+    overlapping cells reuse stored golden activation caches.  Servers are
+    created lazily per worker count (borrowing the matching persistent
+    :func:`campaign_pool`) and close at interpreter exit.
+    """
+    server = _CAMPAIGN_SERVERS.get(scale.workers)
+    if server is None or server._closed:
+        server = CampaignServer(store=artifact_store(),
+                                pool=campaign_pool(scale))
+        _CAMPAIGN_SERVERS[scale.workers] = server
+        atexit.register(server.close)
+    return server
+
+
 def paired_sdc_rates(prepared: PreparedModel, protected, scale: ExperimentScale,
                      fault_model: Optional[FaultModel] = None,
                      dtype_policy=None, criteria=None
                      ) -> Tuple[Dict[str, float], Dict[str, float]]:
     """SDC rates (percent) per criterion for the original and protected model,
-    using the same fault plans on both."""
+    using the same fault plans on both.
+
+    By default the paired campaign is submitted to the process-wide
+    campaign service (:func:`campaign_server`): results are bit-identical
+    to the direct path, and cells repeated across figures come back from
+    the artifact store's result cache.  ``scale.target_half_width`` makes
+    each cell stop adaptively on its own criteria
+    (``scale.joint_stop=False`` additionally lets the two arms stop
+    independently).
+    """
     inputs, _ = prepared.correctly_predicted_inputs(scale.num_inputs,
                                                     seed=scale.seed)
-    base, guarded = compare_protection(
-        prepared.model, protected, inputs,
-        fault_model=fault_model or SingleBitFlip(FIXED32),
-        criteria=criteria,
-        dtype_policy=dtype_policy if dtype_policy is not None else fixed32_policy(),
-        trials=scale.trials, seed=scale.seed, workers=scale.workers,
-        pool=campaign_pool(scale))
+    fault_model = fault_model or SingleBitFlip(FIXED32)
+    dtype_policy = (dtype_policy if dtype_policy is not None
+                    else fixed32_policy())
+    if scale.use_service:
+        request = request_from_campaign(
+            prepared.model, inputs, fault_model=fault_model,
+            criteria=criteria, dtype_policy=dtype_policy, seed=scale.seed,
+            protected_model=protected, trials=scale.trials,
+            workers=scale.workers, use_pool=scale.workers > 1,
+            target_half_width=scale.target_half_width,
+            wave_trials=scale.wave_trials, joint_stop=scale.joint_stop)
+        base, guarded = campaign_server(scale).submit(request).result()
+    else:
+        base, guarded = compare_protection(
+            prepared.model, protected, inputs, fault_model=fault_model,
+            criteria=criteria, dtype_policy=dtype_policy,
+            trials=scale.trials, seed=scale.seed, workers=scale.workers,
+            pool=campaign_pool(scale),
+            target_half_width=scale.target_half_width,
+            wave_trials=scale.wave_trials, joint_stop=scale.joint_stop)
     original = {c: base.sdc_rate_percent(c) for c in base.criteria}
     with_ranger = {c: guarded.sdc_rate_percent(c) for c in guarded.criteria}
     return original, with_ranger

@@ -19,7 +19,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .adaptive_experiments import run_adaptive_efficiency
-from .common import ExperimentResult, ExperimentScale
+from .common import ExperimentResult, ExperimentScale, artifact_store
 from .comparison_experiments import (
     run_fig8_hong_comparison,
     run_table6_technique_comparison,
@@ -85,6 +85,14 @@ def run_all_experiments(scale: Optional[ExperimentScale] = None,
             print(result.rendered)
             print()
         results.append(result)
+    if verbose:
+        # Cross-experiment artifact reuse (results / golden caches /
+        # Ranger profiles served by the process-wide store).
+        stats = artifact_store().stats()
+        if stats:
+            print("artifact store:", ", ".join(
+                f"{kind}: {s['hits']} hits / {s['misses']} misses"
+                for kind, s in stats.items()))
     return results
 
 

@@ -79,6 +79,26 @@ class Graph:
         self._union_memo: Dict[frozenset, frozenset] = {}
         self._topo_index: Optional[Dict[str, int]] = None
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle the graph without its derived query memos.
+
+        The memos are pure caches over the (append-only) structure, but
+        they fill lazily with use — pickling them would make a graph's
+        byte representation depend on its *query history*, breaking every
+        content fingerprint built on it (worker campaign caches, the
+        campaign service's artifact keys), and would ship redundant cone
+        sets to worker processes.  Dropping them costs one lazy rebuild on
+        the unpickled copy.
+        """
+        state = dict(self.__dict__)
+        state["_downstream_memo"] = {}
+        state["_ancestors_memo"] = {}
+        state["_union_memo"] = {}
+        state["_topo_index"] = None
+        return state
+
     # -- construction ------------------------------------------------------
 
     def add(self, name: str, op: Operator,

@@ -90,8 +90,8 @@ import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
-                    Sequence, Tuple)
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 import numpy as np
 
@@ -621,6 +621,7 @@ class FaultInjectionCampaign:
             strata: Optional[Stratification] = None,
             z: float = 1.96,
             interval_method: str = DEFAULT_INTERVAL_METHOD,
+            on_wave: Optional[Callable[[CampaignResult], None]] = None,
             ) -> CampaignResult:
         """Run the campaign and return aggregated SDC statistics.
 
@@ -728,6 +729,16 @@ class FaultInjectionCampaign:
         interval_method:
             Interval flavour for the result's statistics and the stopping
             rule: ``"wilson"`` (default), ``"jeffreys"`` or ``"normal"``.
+        on_wave:
+            Optional per-wave snapshot hook for adaptive / waved runs:
+            after every wave the merged-so-far :class:`CampaignResult` is
+            passed to the callback (the order-insensitive merge makes
+            each snapshot a valid partial result whose counts are a
+            prefix of the final ones).  The campaign service streams
+            these snapshots to subscribers; an exception raised by the
+            callback aborts the run (the service uses this for
+            cancellation).  Requires a waved run — set
+            ``target_half_width`` or ``wave_trials``.
         """
         if trials <= 0 and plans is None:
             raise ValueError("trials must be positive")
@@ -756,6 +767,10 @@ class FaultInjectionCampaign:
                     "(batched replay resumes from golden activation caches)")
         adaptive = (target_half_width is not None or strata is not None
                     or wave_trials is not None)
+        if on_wave is not None and not adaptive:
+            raise ValueError(
+                "on_wave snapshots require a waved run; set wave_trials "
+                "(or target_half_width) so there are waves to snapshot")
         if adaptive:
             if packing is not None:
                 raise ValueError(
@@ -765,6 +780,8 @@ class FaultInjectionCampaign:
                 raise ValueError(
                     "adaptive campaigns own the whole trial index space; "
                     "trial_offset must be 0")
+            group_hook = (None if on_wave is None
+                          else lambda snapshots: on_wave(snapshots[0]))
             return _run_adaptive_group(
                 [self], trials=trials, plans=plans, wave_trials=wave_trials,
                 target_half_width=target_half_width, strata=strata, z=z,
@@ -772,7 +789,7 @@ class FaultInjectionCampaign:
                 incremental=incremental, workers=workers,
                 batch_trials=batch_trials, mode=mode, max_ulps=max_ulps,
                 cache_budget_bytes=cache_budget_bytes, pool=pool,
-                sparse_delta=sparse_delta)[0]
+                sparse_delta=sparse_delta, on_wave=group_hook)[0]
         if plans is None:
             plans = self.generate_plans(trials)
         result = self._dispatch(plans, keep_faults=keep_faults,
@@ -1250,7 +1267,11 @@ def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
                         batch_trials: int, mode: EquivalenceMode,
                         max_ulps: float, cache_budget_bytes: int,
                         pool: Optional["CampaignPool"],
-                        sparse_delta: bool) -> List[CampaignResult]:
+                        sparse_delta: bool,
+                        joint_stop: bool = True,
+                        on_wave: Optional[Callable[[List[CampaignResult]],
+                                                   None]] = None,
+                        ) -> List[CampaignResult]:
     """Drive one or more same-seed campaigns through adaptive waves.
 
     The sequential-stopping / stratified-allocation engine behind
@@ -1259,10 +1280,18 @@ def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
     samples every plan (and packs every batched chunk) exactly once, and
     each wave's chunks are dispatched to **every** campaign with the same
     global ``trial_offset`` — so a paired group replays identical faults
-    with identical per-trial RNG streams, and the whole group stops
-    together on the first wave at which *all* campaigns meet the target
-    (each arm's result is still exactly a prefix of its own fixed-budget
-    run; the slower-converging arm just sets the common stop point).
+    with identical per-trial RNG streams.
+
+    With ``joint_stop=True`` (the default) the whole group stops together
+    on the first wave at which *all* campaigns meet the target — the
+    slower-converging arm sets the common stop point, which preserves the
+    paired-difference structure of :func:`compare_protection`.  With
+    ``joint_stop=False`` each campaign stops **independently** as soon as
+    its own criteria fit the target: a cell that converges early stops
+    receiving waves while the others continue on the shared plan list.
+    Either way every campaign's result is exactly a prefix of its own
+    fixed-budget run — stopping policy changes how many waves a campaign
+    receives, never what any trial computes.
 
     Without ``strata``, plans are pre-sampled for the full budget up
     front and waves are consecutive slices, which is what makes a stopped
@@ -1272,7 +1301,13 @@ def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
     allocation grows (the first wave is uniform across strata, later
     waves Neyman-allocated toward uncertain strata), chunk results are
     tagged with per-stratum counters, and the merged results report
-    unbiased Horvitz–Thompson rates.
+    unbiased Horvitz–Thompson rates.  Stratified groups must stop
+    jointly: a wave's Neyman allocation pools every campaign's stratum
+    statistics, so a campaign that went idle would still shape the plans
+    the others draw and break their fixed-budget prefix property.
+
+    ``on_wave`` (when given) receives the list of merged-so-far results —
+    one per campaign, aligned with ``campaigns`` — after every wave.
     """
     leader = campaigns[0]
     if target_half_width is not None and not 0.0 < target_half_width < 1.0:
@@ -1282,6 +1317,11 @@ def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
         raise ValueError(
             "stratified campaigns sample their own per-stratum plans; "
             "pass trials (the budget) instead of explicit plans")
+    if strata is not None and not joint_stop:
+        raise ValueError(
+            "stratified groups stop jointly: the Neyman allocation pools "
+            "every campaign's stratum statistics, so independent stopping "
+            "would let an idle campaign perturb the plans the others draw")
     budget = len(plans) if plans is not None else trials
     if budget <= 0:
         raise ValueError("adaptive campaigns need a positive trial budget")
@@ -1311,28 +1351,46 @@ def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
             return leader.pack_batches(chunk, batch_trials)
         return None
 
+    def meets_target(result: Optional[CampaignResult]) -> bool:
+        if target_half_width is None or result is None:
+            return False
+        return all(result.half_width(criterion, z=z) <= target_half_width
+                   for criterion in result.criteria)
+
     def target_reached() -> bool:
         if target_half_width is None:
             return False
-        return all(
-            result is not None
-            and all(result.half_width(criterion, z=z) <= target_half_width
-                    for criterion in result.criteria)
-            for result in merged)
+        return all(meets_target(result) for result in merged)
 
     waves_run = 0
+    waves_by = [0] * len(campaigns)
+    active = [True] * len(campaigns)
     done = 0
     if strata is None:
         if plans is None:
             plans = leader.generate_plans(budget)
-        while done < budget and not target_reached():
+        while done < budget:
+            if joint_stop:
+                if target_reached():
+                    break
+            else:
+                for index in range(len(campaigns)):
+                    if active[index] and meets_target(merged[index]):
+                        active[index] = False
+                if not any(active):
+                    break
             chunk = list(plans[done:done + min(wave, budget - done)])
             packing = pack(chunk)
             for index in range(len(campaigns)):
+                if not active[index]:
+                    continue
                 partials[index].append(dispatch(index, chunk, done, packing))
                 merged[index] = CampaignResult.merge(partials[index])
+                waves_by[index] += 1
             done += len(chunk)
             waves_run += 1
+            if on_wave is not None:
+                on_wave(list(merged))
     else:
         space = StratumSpace(leader.injector._site_sizes,
                              leader.fault_model, strata)
@@ -1380,13 +1438,16 @@ def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
                 done += count
             for index in range(len(campaigns)):
                 merged[index] = CampaignResult.merge(partials[index])
+                waves_by[index] += 1
             waves_run += 1
+            if on_wave is not None:
+                on_wave(list(merged))
 
     results: List[CampaignResult] = []
-    for result in merged:
+    for index, result in enumerate(merged):
         assert result is not None  # budget > 0 ⇒ at least one wave ran
         result.trials_budget = budget
-        result.waves = waves_run
+        result.waves = waves_by[index]
         result.target_half_width = target_half_width
         results.append(result)
     return results
@@ -1409,6 +1470,9 @@ def compare_protection(unprotected: Model, protected: Model,
                        strata: Optional[Stratification] = None,
                        z: float = 1.96,
                        interval_method: str = DEFAULT_INTERVAL_METHOD,
+                       joint_stop: bool = True,
+                       on_wave: Optional[Callable[[List[CampaignResult]],
+                                                  None]] = None,
                        ) -> Tuple[CampaignResult, CampaignResult]:
     """Run paired campaigns on an unprotected model and a protected variant.
 
@@ -1430,11 +1494,28 @@ def compare_protection(unprotected: Model, protected: Model,
 
     ``target_half_width`` / ``wave_trials`` / ``strata`` run the pair
     **adaptively** (see :meth:`FaultInjectionCampaign.run`) while keeping
-    it paired: both arms replay the same wave chunks and stop together on
-    the first wave at which *both* have met the target on every criterion
-    — i.e. on the max of the arms' individually-required waves — so the
-    paired-difference structure survives early stopping.
+    it paired: both arms replay the same wave chunks and, by default, stop
+    together on the first wave at which *both* have met the target on
+    every criterion — i.e. on the max of the arms' individually-required
+    waves — so the paired-difference structure survives early stopping.
+    ``joint_stop=False`` lets each arm stop **independently** once its own
+    criteria fit the target (the protected arm's near-zero rates typically
+    converge waves earlier than the unprotected arm's): each arm is still
+    a bit-exact prefix of its own fixed-budget run, but the arms may now
+    cover different trial prefixes, so the comparison is only paired over
+    the shorter prefix — the trade sweep grids make to stop each
+    (model × dtype × protection) cell on its own schedule.
+
+    ``on_wave`` receives the ``[unprotected, protected]`` merged-so-far
+    snapshot pair after every adaptive wave (the hook the campaign service
+    streams compare jobs through); like :meth:`FaultInjectionCampaign.run`
+    it requires a waved run.
     """
+    if on_wave is not None and (target_half_width is None and strata is None
+                                and wave_trials is None):
+        raise ValueError(
+            "on_wave snapshots require a waved run; set wave_trials "
+            "(or target_half_width) so there are waves to snapshot")
     base = FaultInjectionCampaign(unprotected, inputs, fault_model=fault_model,
                                   criteria=criteria, dtype_policy=dtype_policy,
                                   seed=seed)
@@ -1454,7 +1535,8 @@ def compare_protection(unprotected: Model, protected: Model,
             batch_trials=batch_trials, mode=mode,
             max_ulps=DEFAULT_MAX_ULPS,
             cache_budget_bytes=DEFAULT_CACHE_BUDGET_BYTES, pool=pool,
-            sparse_delta=sparse_delta)
+            sparse_delta=sparse_delta, joint_stop=joint_stop,
+            on_wave=on_wave)
         return results[0], results[1]
     plans = base.generate_plans(trials)
     packing = None

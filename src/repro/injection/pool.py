@@ -58,6 +58,23 @@ WORKER_CAMPAIGN_CACHE_LIMIT = 4
 _WORKER_CAMPAIGNS: "OrderedDict[str, FaultInjectionCampaign]" = OrderedDict()
 
 
+def spec_fingerprint(spec: CampaignSpec) -> str:
+    """Content fingerprint of a campaign spec (golden caches excluded).
+
+    SHA-1 over the pickled configuration leaves — (model, inputs, fault
+    model, criteria, dtype policy, seed) — so two campaign *objects* built
+    from the same configuration share one fingerprint.  Pool workers key
+    their campaign cache on it, and the campaign service's artifact store
+    (:mod:`repro.service.store`) keys golden caches and finished results
+    on it.  A spurious mismatch merely costs a rebuild / cache miss; a
+    false match would need a SHA-1 collision on the pickled configuration.
+    """
+    payload = pickle.dumps((spec.model, spec.inputs, spec.fault_model,
+                            spec.criteria, spec.dtype_policy, spec.seed),
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha1(payload).hexdigest()
+
+
 def _run_pooled_shard(fingerprint: str, spec: CampaignSpec,
                       payload: Sequence[Tuple[int, Sequence[Tuple[str, int]]]],
                       trial_offset: int, keep_faults: bool,
@@ -140,19 +157,10 @@ class CampaignPool:
 
     # -- execution ---------------------------------------------------------
 
-    @staticmethod
-    def fingerprint(spec: CampaignSpec) -> str:
-        """Content fingerprint of a campaign spec (golden caches excluded).
-
-        Workers key their campaign cache on this, so two campaign *objects*
-        built from the same configuration share one worker-side rebuild.  A
-        spurious mismatch merely costs a rebuild; a false match would need
-        a SHA-1 collision on the pickled configuration.
-        """
-        payload = pickle.dumps((spec.model, spec.inputs, spec.fault_model,
-                                spec.criteria, spec.dtype_policy, spec.seed),
-                               protocol=pickle.HIGHEST_PROTOCOL)
-        return hashlib.sha1(payload).hexdigest()
+    #: Workers key their campaign cache on :func:`spec_fingerprint`, so two
+    #: campaign *objects* built from the same configuration share one
+    #: worker-side rebuild.
+    fingerprint = staticmethod(spec_fingerprint)
 
     def run_plans(self, campaign: FaultInjectionCampaign,
                   plans: List[Tuple[int, InjectionPlan]], *,

@@ -61,12 +61,32 @@ def stratum_rng(seed: int, stratum_index: int) -> np.random.Generator:
     return np.random.default_rng(ss)
 
 
+#: Relative tolerance within which a float share counts as an integer in
+#: :func:`largest_remainder`.  ``q / scale * total`` carries a few ulps of
+#: rounding error, so an exactly-proportional quota (thirds of a
+#: divisible-by-three total, say) can come out as ``k - 1e-16``.
+SHARE_EPSILON = 1e-9
+
+
 def largest_remainder(quotas: Sequence[float], total: int) -> List[int]:
     """Round non-negative ``quotas`` to integers summing to ``total``.
 
     Hamilton's method: everyone gets the floor of their quota, the
     leftover units go to the largest fractional parts (ties broken by
     lower index, so the rounding is deterministic).
+
+    Shares within :data:`SHARE_EPSILON` of an integer are snapped to that
+    integer *before* flooring: ``q / scale * total`` is float arithmetic,
+    so an exactly-proportional quota can land at ``k - 1e-16`` and floor
+    to ``k - 1``.  The leftover pass would usually repair that (the
+    near-1.0 fractional part wins a unit back first), but the repair
+    consumes the stratum's place in the remainder ordering and lets float
+    noise decide ties that should be decided by the exact quotas — the
+    snap keeps exactly-proportional allocations independent of rounding
+    noise.  Should accumulated snapping ever over-allocate, units are
+    reclaimed from the *smallest* fractional parts (the reverse of the
+    award order), so the quota rule ``|counts[i] - share_i| < 1`` holds
+    either way.
     """
     if total < 0:
         raise ValueError(f"total must be non-negative, got {total}")
@@ -78,12 +98,24 @@ def largest_remainder(quotas: Sequence[float], total: int) -> List[int]:
         quotas = [1.0] * len(quotas)
         scale = float(len(quotas))
     shares = [q / scale * total for q in quotas]
-    counts = [int(share) for share in shares]
+    snapped = [float(round(share))
+               if abs(share - round(share)) <= SHARE_EPSILON * max(1.0, share)
+               else share
+               for share in shares]
+    counts = [int(share) for share in snapped]
     leftover = total - sum(counts)
-    order = sorted(range(len(shares)),
-                   key=lambda i: (-(shares[i] - counts[i]), i))
-    for i in order[:leftover]:
-        counts[i] += 1
+    order = sorted(range(len(snapped)),
+                   key=lambda i: (-(snapped[i] - counts[i]), i))
+    if leftover >= 0:
+        for i in order[:leftover]:
+            counts[i] += 1
+    else:  # snapping rounded up past the total; reclaim deterministically
+        for i in reversed(order):
+            if leftover == 0:
+                break
+            if counts[i] > 0:
+                counts[i] -= 1
+                leftover += 1
     return counts
 
 

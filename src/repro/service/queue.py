@@ -1,0 +1,96 @@
+"""Prioritized job admission for the campaign server.
+
+A thread-safe priority queue with **admission backpressure**: the server
+caps how many jobs may wait (``max_pending``), and a submit against a full
+queue fails fast with :class:`AdmissionError` instead of letting a burst of
+clients grow an unbounded backlog — the client decides whether to retry,
+downgrade priority, or walk away.  Within the queue, higher ``priority``
+values run first and equal priorities run strictly FIFO (a monotonic
+admission sequence number breaks ties), so a stream of same-priority
+submissions is served in arrival order no matter how the heap rebalances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, List, Optional, Tuple
+
+
+class AdmissionError(RuntimeError):
+    """The queue refused a submission (backpressure: too many pending jobs)."""
+
+
+class JobQueue:
+    """Bounded, thread-safe priority queue (FIFO within priority).
+
+    Parameters
+    ----------
+    max_pending:
+        Admission cap — submissions beyond this many *pending* (queued,
+        not yet popped) jobs raise :class:`AdmissionError`.  ``None``
+        disables backpressure.
+    """
+
+    def __init__(self, max_pending: Optional[int] = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be positive or None, got {max_pending}")
+        self.max_pending = max_pending
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, item: Any, priority: int = 0) -> int:
+        """Enqueue ``item``; returns its admission sequence number.
+
+        Higher ``priority`` pops first; equal priorities pop in admission
+        order.  Raises :class:`AdmissionError` when the queue is at its
+        ``max_pending`` cap, ``RuntimeError`` when the queue is closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if (self.max_pending is not None
+                    and len(self._heap) >= self.max_pending):
+                raise AdmissionError(
+                    f"job queue is full ({len(self._heap)} pending, cap "
+                    f"{self.max_pending}); retry after the backlog drains")
+            sequence = next(self._sequence)
+            # heapq is a min-heap: negate priority so larger values pop
+            # first; the monotonic sequence makes equal priorities FIFO.
+            heapq.heappush(self._heap, (-priority, sequence, item))
+            self._not_empty.notify()
+            return sequence
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the highest-priority item, blocking up to ``timeout``.
+
+        Returns ``None`` on timeout or when the queue is closed while
+        waiting — the server's scheduler loop uses the ``None`` wake-ups
+        to re-check its shutdown flag.
+        """
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Refuse further submissions and wake all blocked ``pop`` calls."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

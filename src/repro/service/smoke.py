@@ -1,0 +1,91 @@
+"""End-to-end service smoke check (``python -m repro.service.smoke``).
+
+Boots an in-process :class:`~repro.service.server.CampaignServer`, submits
+two overlapping campaign specs plus one exact repeat, and asserts the
+service's two load-bearing guarantees:
+
+1. **Bit-identity** — the service's result matches a direct
+   ``FaultInjectionCampaign.run()`` exactly (SDC counts and every fault
+   record), and the streamed per-wave snapshots end in that same result.
+2. **Artifact reuse** — the exact repeat is served from the result cache
+   (observable hit counter, zero trials run) and the overlapping spec
+   (same campaign, larger budget) reuses the stored golden caches.
+
+CI runs this as its service smoke job; it is deliberately tiny (untrained
+LeNet, dozens of trials) so it finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..injection import FaultInjectionCampaign
+from ..models import prepare_model
+from .client import CampaignClient
+from .server import CampaignServer
+
+TRIALS = 24
+OVERLAP_TRIALS = 48
+
+
+def main() -> int:
+    prepared = prepare_model("lenet", train=False, seed=1)
+    inputs, _ = prepared.dataset.sample_train(4, seed=0)
+    model = prepared.model
+
+    failures = []
+
+    def check(condition: bool, label: str) -> None:
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    with CampaignServer() as server:
+        client = CampaignClient(server)
+
+        print("service vs direct run (bit-identity):")
+        handle = client.submit_campaign(model, inputs, seed=0, trials=TRIALS,
+                                        keep_faults=True)
+        snapshots = list(handle.stream(timeout=300.0))
+        served = snapshots[-1]
+        direct = FaultInjectionCampaign(model, inputs, seed=0).run(
+            trials=TRIALS, keep_faults=True)
+        check(served.sdc_counts == direct.sdc_counts, "sdc counts match")
+        check(served.faults == direct.faults, "fault records match")
+        check(len(snapshots) > 1, "per-wave snapshots streamed")
+        check(all(earlier.trials <= later.trials for earlier, later
+                  in zip(snapshots, snapshots[1:])),
+              "snapshots are cumulative")
+
+        print("exact repeat (result cache):")
+        repeat = client.submit_campaign(model, inputs, seed=0, trials=TRIALS,
+                                        keep_faults=True)
+        repeat_result = repeat.result(timeout=300.0)
+        check(repeat.from_cache is True, "repeat served from result cache")
+        check(repeat_result.sdc_counts == direct.sdc_counts
+              and repeat_result.faults == direct.faults,
+              "cached result bit-identical")
+
+        print("overlapping spec (golden cache):")
+        overlap = client.submit_campaign(model, inputs, seed=0,
+                                         trials=OVERLAP_TRIALS)
+        overlap.result(timeout=300.0)
+        check(overlap.status().get("golden_seeded") is True,
+              "overlapping job seeded from stored golden caches")
+
+        stats = server.stats()
+        result_stats = stats["store"].get("result", {})
+        golden_stats = stats["store"].get("golden", {})
+        check(result_stats.get("hits", 0) >= 1, "result-cache hit recorded")
+        check(golden_stats.get("hits", 0) >= 1, "golden-cache hit recorded")
+        print(f"store stats: {stats['store']}")
+
+    if failures:
+        print(f"smoke FAILED ({len(failures)} checks): {failures}")
+        return 1
+    print("smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

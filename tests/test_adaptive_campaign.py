@@ -467,6 +467,129 @@ class TestPairedAdaptive:
         assert guarded.sdc_counts["top1"] <= base.sdc_counts["top1"]
 
 
+class TestIndependentStopping:
+    """``joint_stop=False``: each arm/cell stops on its own criteria."""
+
+    @pytest.fixture(scope="class")
+    def independent_pair(self, lenet_prepared, lenet_protected,
+                         campaign_inputs):
+        protected, _ = lenet_protected
+        return compare_protection(
+            lenet_prepared.model, protected, campaign_inputs,
+            fault_model=SingleBitFlip(FIXED32),
+            dtype_policy=fixed32_policy(), trials=BUDGET, seed=0,
+            target_half_width=TARGET, wave_trials=WAVE, joint_stop=False)
+
+    def test_arms_stop_on_their_own_schedules(self, independent_pair,
+                                              lenet_prepared,
+                                              lenet_protected,
+                                              campaign_inputs):
+        base, guarded = independent_pair
+        protected, _ = lenet_protected
+        # the protected arm's near-zero rate converges waves earlier
+        assert guarded.trials < base.trials
+        assert guarded.waves < base.waves
+        for result in (base, guarded):
+            assert result.half_width(result.criteria[0]) <= TARGET
+        joint_base, joint_guarded = compare_protection(
+            lenet_prepared.model, protected, campaign_inputs,
+            fault_model=SingleBitFlip(FIXED32),
+            dtype_policy=fixed32_policy(), trials=BUDGET, seed=0,
+            target_half_width=TARGET, wave_trials=WAVE)
+        # the slower arm is unaffected; the faster arm stops strictly
+        # earlier than the joint stop would have held it
+        assert joint_base.trials == base.trials
+        assert guarded.trials < joint_guarded.trials
+
+    def test_each_arm_is_a_prefix_of_its_fixed_budget_run(
+            self, independent_pair, lenet_prepared, lenet_protected,
+            campaign_inputs):
+        # The group's leader (the unprotected arm) samples every plan;
+        # both arms replay prefixes of that one plan stream.
+        base, guarded = independent_pair
+        protected, _ = lenet_protected
+        leader = FaultInjectionCampaign(
+            lenet_prepared.model, campaign_inputs,
+            fault_model=SingleBitFlip(FIXED32),
+            dtype_policy=fixed32_policy(), seed=0)
+        plans = leader.generate_plans(BUDGET)
+        prefix_base = leader.run(plans=plans[:base.trials])
+        assert base.sdc_counts == prefix_base.sdc_counts
+        assert base.trials == prefix_base.trials
+        follower = FaultInjectionCampaign(
+            protected, campaign_inputs, fault_model=SingleBitFlip(FIXED32),
+            dtype_policy=fixed32_policy(), seed=0)
+        prefix_guarded = follower.run(plans=plans[:guarded.trials])
+        assert guarded.sdc_counts == prefix_guarded.sdc_counts
+        assert guarded.trials == prefix_guarded.trials
+
+    def test_strata_reject_independent_stopping(self, lenet_prepared,
+                                                lenet_protected,
+                                                campaign_inputs):
+        protected, _ = lenet_protected
+        with pytest.raises(ValueError, match="stop jointly"):
+            compare_protection(
+                lenet_prepared.model, protected, campaign_inputs,
+                fault_model=SingleBitFlip(FIXED32),
+                dtype_policy=fixed32_policy(), trials=BUDGET, seed=0,
+                wave_trials=WAVE, strata=Stratification(2, 2),
+                joint_stop=False)
+
+
+class TestWaveSnapshots:
+    """The ``on_wave`` streaming hook the campaign service builds on."""
+
+    def test_snapshots_are_cumulative_and_end_at_the_result(
+            self, make_campaign):
+        snapshots = []
+        result = make_campaign().run(trials=BUDGET, target_half_width=TARGET,
+                                     wave_trials=WAVE, keep_faults=True,
+                                     on_wave=snapshots.append)
+        assert len(snapshots) == result.waves
+        trials_seen = [snapshot.trials for snapshot in snapshots]
+        assert trials_seen == sorted(trials_seen)
+        assert snapshots[-1].trials == result.trials
+        assert snapshots[-1].sdc_counts == result.sdc_counts
+        assert fault_keys(snapshots[-1]) == fault_keys(result)
+
+    def test_snapshot_exception_aborts_the_run(self, make_campaign):
+        class Abort(RuntimeError):
+            pass
+
+        def hook(snapshot):
+            raise Abort("stop")
+
+        with pytest.raises(Abort):
+            make_campaign().run(trials=BUDGET, target_half_width=TARGET,
+                                wave_trials=WAVE, on_wave=hook)
+
+    def test_on_wave_requires_a_waved_run(self, make_campaign,
+                                          lenet_prepared, lenet_protected,
+                                          campaign_inputs):
+        with pytest.raises(ValueError, match="on_wave"):
+            make_campaign().run(trials=10, on_wave=lambda snapshot: None)
+        protected, _ = lenet_protected
+        with pytest.raises(ValueError, match="on_wave"):
+            compare_protection(lenet_prepared.model, protected,
+                               campaign_inputs, trials=10,
+                               on_wave=lambda snapshots: None)
+
+    def test_compare_on_wave_streams_pairs(self, lenet_prepared,
+                                           lenet_protected, campaign_inputs):
+        protected, _ = lenet_protected
+        waves = []
+        base, guarded = compare_protection(
+            lenet_prepared.model, protected, campaign_inputs,
+            fault_model=SingleBitFlip(FIXED32),
+            dtype_policy=fixed32_policy(), trials=BUDGET, seed=0,
+            target_half_width=TARGET, wave_trials=WAVE,
+            on_wave=waves.append)
+        assert len(waves) == base.waves
+        assert all(len(pair) == 2 for pair in waves)
+        assert waves[-1][0].sdc_counts == base.sdc_counts
+        assert waves[-1][1].sdc_counts == guarded.sdc_counts
+
+
 class TestValidation:
     def test_bad_target(self, make_campaign):
         with pytest.raises(ValueError, match="target_half_width"):

@@ -33,6 +33,48 @@ class TestMetrics:
         assert all(accs[i] <= accs[i + 1] for i in range(len(accs) - 1))
         assert accs[-1] == 1.0
 
+    def test_top_k_ties_follow_stable_order(self):
+        """Tied probabilities must resolve like the SDC criteria do.
+
+        ``TopKMisclassification`` ranks with a *stable* descending argsort
+        (reversed stable ascending: among ties, the higher index ranks
+        first).  With 64+ tied classes a non-stable introsort orders ties
+        by partition accidents that vary with array size, so the metric
+        and the criterion could disagree about the same top-k set.
+        """
+        classes = 96
+        rows = 8
+        probs = np.full((rows, classes), 0.5)  # every class tied
+        # stable order ranks the highest index first among ties
+        labels_in = np.array([classes - 1 - r for r in range(rows)])
+        assert top_k_accuracy(probs, labels_in, k=rows) == 1.0
+        labels_out = np.zeros(rows, dtype=int)
+        assert top_k_accuracy(probs, labels_out, k=rows) == 0.0
+        # a tied *grid* (blocks of equal values) keeps within-block
+        # higher-index-first order for the top-k cut
+        grid = np.tile(np.repeat([0.3, 0.2, 0.1], classes // 3),
+                       (rows, 1))
+        block = classes // 3
+        top = np.argsort(grid, axis=1, kind="stable")[:, ::-1][:, :block]
+        expected = np.arange(block - 1, -1, -1)
+        assert np.array_equal(top, np.tile(expected, (rows, 1)))
+        assert top_k_accuracy(grid, np.full(rows, block - 1), k=1) == 1.0
+        assert top_k_accuracy(grid, np.zeros(rows, dtype=int), k=1) == 0.0
+
+    def test_top_k_matches_sdc_criterion_ranking(self, rng):
+        """The metric's top-k set must equal the one the vectorized SDC
+        check derives, element for element, including tie handling."""
+        probs = rng.integers(0, 4, size=(32, 80)) / 4.0  # many exact ties
+        for k in (1, 5, 10):
+            metric_top = np.argsort(probs, axis=1,
+                                    kind="stable")[:, ::-1][:, :k]
+            for row in range(probs.shape[0]):
+                scalar = np.argsort(probs[row], kind="stable")[::-1][:k]
+                assert np.array_equal(metric_top[row], scalar)
+                hit = top_k_accuracy(probs[row:row + 1],
+                                     np.array([scalar[-1]]), k=k)
+                assert hit == 1.0
+
     def test_top_k_validation(self, rng):
         with pytest.raises(ValueError):
             top_k_accuracy(rng.random((3, 4)), np.zeros(3), k=5)
