@@ -3,11 +3,47 @@
 from __future__ import annotations
 
 import os
+from typing import Dict, Optional
 
 #: Directory where every benchmark writes the table/series it regenerated.
 #: These files are the measured side of the paper-vs-measured comparison in
 #: EXPERIMENTS.md.
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def peak_rss_bytes(pid: Optional[int] = None) -> Optional[int]:
+    """Peak resident set size (``VmHWM``) of a process, in bytes.
+
+    Read from ``/proc/<pid>/status`` — the high-water mark survives
+    frees, so one read after a workload captures its peak.  Returns
+    ``None`` where procfs is unavailable (non-Linux) or the process is
+    gone; callers should skip RSS guards in that case.
+    """
+    pid = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{pid}/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+def worker_peak_rss_bytes(pool) -> Dict[int, int]:
+    """Peak RSS per live worker process of a ``CampaignPool``.
+
+    Must be called while the pool is open (worker pids come from the
+    executor's process table); an empty mapping means no procfs.
+    """
+    executor = getattr(pool, "_executor", None)
+    processes = getattr(executor, "_processes", None) or {}
+    out: Dict[int, int] = {}
+    for pid in list(processes):
+        rss = peak_rss_bytes(pid)
+        if rss is not None:
+            out[pid] = rss
+    return out
 
 
 def run_and_report(benchmark, experiment_fn, scale, **kwargs):

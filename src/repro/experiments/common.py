@@ -183,6 +183,18 @@ def campaign_pool(scale: ExperimentScale) -> Optional[CampaignPool]:
     return pool
 
 
+def campaign_pool_stats() -> Dict[int, Dict[str, int]]:
+    """Aggregated :meth:`CampaignPool.stats` per live pool worker count.
+
+    The runner prints these next to the artifact-store summary so the
+    worker-cache hit rate and the shared-memory dispatch payload are
+    observable per sweep.
+    """
+    return {workers: pool.stats()
+            for workers, pool in sorted(_CAMPAIGN_POOLS.items())
+            if not pool.closed}
+
+
 #: One content-addressed artifact store shared by every experiment (and
 #: every campaign server) in the process — cross-figure reuse of results,
 #: golden caches and Ranger profiles happens through it.

@@ -19,7 +19,8 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .adaptive_experiments import run_adaptive_efficiency
-from .common import ExperimentResult, ExperimentScale, artifact_store
+from .common import (ExperimentResult, ExperimentScale, artifact_store,
+                     campaign_pool_stats)
 from .comparison_experiments import (
     run_fig8_hong_comparison,
     run_table6_technique_comparison,
@@ -93,6 +94,14 @@ def run_all_experiments(scale: Optional[ExperimentScale] = None,
             print("artifact store:", ", ".join(
                 f"{kind}: {s['hits']} hits / {s['misses']} misses"
                 for kind, s in stats.items()))
+        # Worker-side campaign-cache reuse and shared-memory dispatch
+        # economics of the persistent pools (one line per worker count).
+        for workers, pool_stats in campaign_pool_stats().items():
+            print(f"campaign pool ({workers} workers): "
+                  f"{pool_stats['hits']} hits / {pool_stats['misses']} "
+                  f"misses / {pool_stats['remaps']} remaps, "
+                  f"{pool_stats['shm_tasks']}/{pool_stats['tasks']} tasks "
+                  f"via shm, {pool_stats['payload_bytes']} payload bytes")
     return results
 
 

@@ -16,6 +16,7 @@ concerns meet:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple, Union)
@@ -81,6 +82,78 @@ class DTypePolicy:
 
     def apply(self, node: Node, value: Array) -> Array:
         return value
+
+
+class BufferArena:
+    """Preallocated per-(node, batch-width) output buffers for trial replay.
+
+    Every replayed trial used to allocate a fresh output array per
+    re-evaluated node (plus one per assembled batched input); across a
+    campaign that is millions of allocator round-trips for buffers of
+    identical shape.  The arena hands each (node, batch-width) site one
+    float64 buffer, reused across trials and waves.
+
+    Safety contract (why reuse cannot change a result byte):
+
+    * operators write into a buffer only through the audited
+      :meth:`~repro.ops.base.Operator.forward_out` / dtype-policy ``out=``
+      paths, which perform the exact same IEEE-754 computation as the
+      allocating paths;
+    * a buffer is never aliased with an operator's inputs — buffers are
+      keyed per node, and a DAG node is not its own input;
+    * the replay engines consume each buffer before the same site can be
+      re-filled (the batched commit copies surviving rows out; the
+      incremental path copies requested outputs on exit), and golden
+      caches are only ever *read* — the copy-on-entry guarantee: cached
+      (possibly shared-memory-mapped, read-only) activations are copied
+      before any mutation, never written through.
+
+    Buffers are created on first use and replaced when a site's shape or
+    dtype changes; :meth:`owns` identifies escaping arrays (including
+    views carved out of a buffer) so callers can copy them out.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple, Array] = {}
+        self._owned: Set[int] = set()
+        self.hits = 0
+        self.allocations = 0
+
+    def buffer(self, key: Tuple, shape: Tuple[int, ...],
+               dtype=np.float64) -> Array:
+        buf = self._buffers.get(key)
+        if buf is not None and buf.shape == shape and buf.dtype == dtype:
+            self.hits += 1
+            return buf
+        if buf is not None:
+            self._owned.discard(id(buf))
+        buf = np.empty(shape, dtype=dtype)
+        self._buffers[key] = buf
+        self._owned.add(id(buf))
+        self.allocations += 1
+        return buf
+
+    def owns(self, array: Array) -> bool:
+        """Whether ``array`` is (a view into) an arena buffer.
+
+        Buffers are held by the arena for its lifetime, so ``id`` identity
+        is stable; the base chain catches views (reshape/identity outputs)
+        carved out of a buffer.
+        """
+        seen = 0
+        while array is not None and seen < 8:
+            if id(array) in self._owned:
+                return True
+            array = getattr(array, "base", None)
+            seen += 1
+        return False
+
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def stats(self) -> Dict[str, int]:
+        return {"buffers": len(self._buffers), "bytes": self.nbytes(),
+                "hits": self.hits, "allocations": self.allocations}
 
 
 def bit_identical(a: Array, b: Array) -> bool:
@@ -191,6 +264,18 @@ class Executor:
         self.dtype_policy = dtype_policy or DTypePolicy()
         self._output_hooks: List[OutputHook] = []
         self._observers: List[Observer] = []
+        #: Optional :class:`BufferArena` for the replay paths
+        #: (:meth:`run_from` / :meth:`run_from_batched`); campaigns attach
+        #: one so replays reuse per-(node, batch-width) output buffers.
+        #: Dynamically gated off while output hooks or observers are
+        #: registered (they may retain references to outputs) — and never
+        #: used by :meth:`run`, whose values become long-lived golden
+        #: caches.
+        self.arena: Optional[BufferArena] = None
+        #: Whether the dtype policy's ``apply`` accepts an ``out=`` buffer
+        #: (subclasses predating the arena keep the two-argument form).
+        self._policy_takes_out = "out" in inspect.signature(
+            self.dtype_policy.apply).parameters
         #: Cost-model floor for the sparse delta path: a node evaluation only
         #: goes sparse when the dense element work it displaces (dirty rows x
         #: row size) reaches this many elements — below it, the fixed sparse
@@ -219,14 +304,44 @@ class Executor:
 
     # -- execution -------------------------------------------------------------
 
-    def _evaluate(self, node: Node, out: Array) -> Array:
-        """Apply the dtype policy, output hooks and observers to one output."""
-        out = self.dtype_policy.apply(node, out)
+    def _evaluate(self, node: Node, out: Array,
+                  out_buffer: Optional[Array] = None) -> Array:
+        """Apply the dtype policy, output hooks and observers to one output.
+
+        ``out_buffer`` (arena replay only): a buffer the dtype policy may
+        write its result into — the same elementwise pipeline, just
+        allocation-free; ``out`` may already *be* the buffer when the
+        operator wrote in place.
+        """
+        if out_buffer is not None and self._policy_takes_out:
+            out = self.dtype_policy.apply(node, out, out=out_buffer)
+        else:
+            out = self.dtype_policy.apply(node, out)
         for hook in self._output_hooks:
             out = hook(node, out)
         for observer in self._observers:
             observer(node, out)
         return out
+
+    def _arena_buffer(self, key: Tuple, cached: Optional[Array],
+                      count: Optional[int]) -> Optional[Array]:
+        """The arena output buffer for one replay site, or ``None``.
+
+        The expected output shape/dtype comes from the node's cached
+        golden value (``count`` rows of its row shape for batched sites);
+        sites without a float64 golden reference stay on the allocating
+        path.  Hooks/observers disable the arena wholesale — they may
+        retain output references across trials.
+        """
+        if (self.arena is None or self._output_hooks or self._observers
+                or cached is None):
+            return None
+        cached = np.asarray(cached)
+        if cached.dtype != np.float64:
+            return None
+        shape = (cached.shape if count is None
+                 else (count,) + cached.shape[1:])
+        return self.arena.buffer(key, shape)
 
     # -- sparse delta machinery ------------------------------------------------
 
@@ -640,6 +755,7 @@ class Executor:
             if sparse_active:
                 for inp in set(node.inputs):
                     materialize(inp)
+            buffer = None
             if isinstance(node.op, Placeholder):
                 if name not in feed:
                     raise GraphError(
@@ -652,8 +768,13 @@ class Executor:
                     raise GraphError(
                         f"run_from(): no cached value for input {exc} of "
                         f"node '{name}'") from None
-                out = node.op.forward(*args)
-            out = self._evaluate(node, out)
+                buffer = self._arena_buffer(name, cached_values.get(name),
+                                            None)
+                if buffer is not None and node.op.supports_out:
+                    out = node.op.forward_out(buffer, *args)
+                else:
+                    out = node.op.forward(*args)
+            out = self._evaluate(node, out, buffer)
             values[name] = out
             recomputed.add(name)
             if is_seed:
@@ -685,6 +806,15 @@ class Executor:
             raise GraphError(
                 f"run_from(): requested outputs missing from both the cache "
                 f"and the recomputed cone: {missing}")
+        if self.arena is not None:
+            # Copy-on-exit: a requested output living in (or viewing) an
+            # arena buffer would be silently overwritten by the next
+            # replay; hand the caller a private copy.  Non-requested
+            # ``values`` entries may still reference arena buffers — they
+            # are valid until the next replay on this executor only.
+            for name in requested:
+                if self.arena.owns(values[name]):
+                    values[name] = np.array(values[name])
         return ExecutionResult(
             outputs={name: values[name] for name in requested},
             values=values,
@@ -1088,6 +1218,8 @@ class Executor:
         elements_full = 0
         dense_fallbacks = 0
         scatter_flag = [False]
+        arena_on = (self.arena is not None and not self._output_hooks
+                    and not self._observers)
 
         topo = self.graph.topo_index()
 
@@ -1151,7 +1283,16 @@ class Executor:
             else:
                 packed = None
                 dtype = cached.dtype
-            assembled = np.empty((count,) + cached.shape[1:], dtype=dtype)
+            if arena_on:
+                # Per-(input, batch-width) assembly buffer — every row is
+                # (re)written below before the consumer reads it, so reuse
+                # across trials is invisible.
+                assembled = self.arena.buffer(("in", name, count),
+                                              (count,) + cached.shape[1:],
+                                              dtype)
+            else:
+                assembled = np.empty((count,) + cached.shape[1:],
+                                     dtype=dtype)
             position_of = np.cumsum(need) - 1
             dense_part = (dmask if dmask is not None
                           else np.zeros(batch, dtype=bool))
@@ -1305,6 +1446,7 @@ class Executor:
                             f"fed value for dirty placeholder '{name}' has "
                             f"{fed.shape[0]} rows; expected 1 or {batch}")
                     out = np.array(fed[need_idx], dtype=np.float64)
+                    buffer = None
                 else:
                     try:
                         args = [assemble_input(inp, dense_need, count)
@@ -1313,8 +1455,13 @@ class Executor:
                         raise GraphError(
                             f"run_from_batched(): no cached value for input "
                             f"{exc} of node '{name}'") from None
-                    out = node.op.forward(*args)
-                out = self._evaluate(node, out)
+                    buffer = self._arena_buffer(("out", name, count),
+                                                cached, count)
+                    if buffer is not None and node.op.supports_out:
+                        out = node.op.forward_out(buffer, *args)
+                    else:
+                        out = node.op.forward(*args)
+                out = self._evaluate(node, out, buffer)
                 rows_evaluated += count
                 recomputed.add(name)
                 if scatter_flag[0]:

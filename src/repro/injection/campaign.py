@@ -86,8 +86,8 @@ the same pure-function spec either way).
 
 from __future__ import annotations
 
+import hashlib
 import math
-import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping,
@@ -101,7 +101,10 @@ from ..analysis.metrics import (INTERVAL_METHODS, binomial_interval,
 from ..analysis.reporting import equivalence_note
 from ..graph import DTypePolicy, Executor
 from ..graph.equivalence import DEFAULT_MAX_ULPS, EquivalenceMode
+from ..graph.executor import BufferArena
 from ..models.base import Model
+from ..parallel.shm import (array_content_key, campaign_mp_context,
+                            plane_scope, shared_plane)
 from .fault_models import FaultModel, FaultSpec, SingleBitFlip
 from .injector import FaultInjector, InjectionPlan
 from .sampling import (Stratification, StratumKey, StratumSpace,
@@ -123,6 +126,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
 #: budget for deployments where worker-side compute is the scarce resource
 #: (e.g. heavily oversubscribed hosts), or set 0 to never ship.
 DEFAULT_CACHE_BUDGET_BYTES = 1 * 2 ** 20
+
+#: Golden-cache shipping ceiling when the shared-memory cache plane is
+#: active (see :mod:`repro.parallel.shm`).  The plane publishes the
+#: caches **once** into shared segments and ships only tiny references,
+#: so the old per-worker ``pickle + unpickle`` economics that kept
+#: :data:`DEFAULT_CACHE_BUDGET_BYTES` at 1 MiB no longer apply; the only
+#: real cost left is one parent-side copy into ``/dev/shm``, which the
+#: lazy per-(worker, input) rebuild always loses against.
+PLANE_CACHE_BUDGET_BYTES = 256 * 2 ** 20
 
 #: First spawn-key element of the plan-sampling stream
 #: (:meth:`FaultInjectionCampaign.generate_plans`): a two-element key, so
@@ -514,6 +526,14 @@ class FaultInjectionCampaign:
         self.seed = seed
         self.injector = FaultInjector(model, self.fault_model, seed=seed)
         self._executor = model.executor(dtype_policy)
+        #: Replay buffer arena: partial re-executions reuse per-(node,
+        #: batch width) output buffers across this campaign's trials and
+        #: waves instead of allocating fresh arrays per node per replay.
+        #: ``run()`` never consults the arena (golden caches must own
+        #: their storage) and hooks/observers gate it off dynamically,
+        #: so attaching it is behaviour-free — see
+        #: :class:`~repro.graph.executor.BufferArena` for the audit.
+        self._executor.arena = BufferArena()
         self.injector.profile_state_space(self.inputs[:1], self._executor)
         self._golden = self._compute_golden_outputs()
         #: Per-input golden activation caches for partial re-execution,
@@ -528,6 +548,10 @@ class FaultInjectionCampaign:
         self._overlap_memo: Dict[frozenset, bool] = {}
         self._cone_memo: Dict[frozenset, frozenset] = {}
         self._needed_nodes: Optional[frozenset] = None
+        #: Memoized :func:`~repro.injection.pool.spec_fingerprint` of
+        #: this campaign's spec — every field it hashes is fixed at
+        #: construction, so computing it once is safe.
+        self._fingerprint: Optional[str] = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -601,6 +625,20 @@ class FaultInjectionCampaign:
                             fault_model=self.fault_model,
                             criteria=list(self.criteria),
                             dtype_policy=self.dtype_policy, seed=self.seed)
+
+    def spec_fingerprint(self) -> str:
+        """Content fingerprint of this campaign's spec, computed once.
+
+        The same SHA-1 the :class:`~repro.injection.pool.CampaignPool`
+        worker cache and the service's
+        :class:`~repro.service.store.ArtifactStore` key by, so the
+        shared-memory cache plane's segments (``body:<fingerprint>`` /
+        ``golden:<fingerprint>:...``) line up with both.
+        """
+        if self._fingerprint is None:
+            from .pool import spec_fingerprint
+            self._fingerprint = spec_fingerprint(self.spec())
+        return self._fingerprint
 
     def run(self, trials: int = 100,
             plans: Optional[List[Tuple[int, InjectionPlan]]] = None,
@@ -782,14 +820,18 @@ class FaultInjectionCampaign:
                     "trial_offset must be 0")
             group_hook = (None if on_wave is None
                           else lambda snapshots: on_wave(snapshots[0]))
-            return _run_adaptive_group(
-                [self], trials=trials, plans=plans, wave_trials=wave_trials,
-                target_half_width=target_half_width, strata=strata, z=z,
-                interval_method=interval_method, keep_faults=keep_faults,
-                incremental=incremental, workers=workers,
-                batch_trials=batch_trials, mode=mode, max_ulps=max_ulps,
-                cache_budget_bytes=cache_budget_bytes, pool=pool,
-                sparse_delta=sparse_delta, on_wave=group_hook)[0]
+            # The scope pins the plane segments the per-wave dispatches
+            # publish, so waves re-use them instead of republishing.
+            with plane_scope():
+                return _run_adaptive_group(
+                    [self], trials=trials, plans=plans,
+                    wave_trials=wave_trials,
+                    target_half_width=target_half_width, strata=strata, z=z,
+                    interval_method=interval_method, keep_faults=keep_faults,
+                    incremental=incremental, workers=workers,
+                    batch_trials=batch_trials, mode=mode, max_ulps=max_ulps,
+                    cache_budget_bytes=cache_budget_bytes, pool=pool,
+                    sparse_delta=sparse_delta, on_wave=group_hook)[0]
         if plans is None:
             plans = self.generate_plans(trials)
         result = self._dispatch(plans, keep_faults=keep_faults,
@@ -1166,30 +1208,69 @@ class FaultInjectionCampaign:
         with the spec when they fit ``cache_budget_bytes``) or rebuilds its
         own, so no process shares mutable state.  Shard results come back
         in trial order and are merged with :meth:`CampaignResult.merge`.
+
+        When the shared-memory cache plane is available (see
+        :mod:`repro.parallel.shm`) the spec's large arrays — weights,
+        inputs, golden caches — are published **once** into shared
+        segments and workers map them as read-only zero-copy views; only
+        a few-KiB skeleton pickle travels per shard, and the golden-cache
+        shipping budget is lifted to :data:`PLANE_CACHE_BUDGET_BYTES`.
+        ``REPRO_DISABLE_SHM=1`` (or any plane failure) falls back to the
+        legacy pickle path, bit-identically.
         """
         shards = shard_plans(plans, workers)
         spec = self.spec()
+        plane = shared_plane()
+        shipped = False
         if incremental:
-            self.ship_golden_caches(spec, plans, cache_budget_bytes)
+            budget = (max(cache_budget_bytes, PLANE_CACHE_BUDGET_BYTES)
+                      if plane is not None else cache_budget_bytes)
+            shipped = self.ship_golden_caches(spec, plans, budget)
+        encoded = None
+        if plane is not None:
+            encoded = encode_campaign_spec(plane, spec,
+                                           self.spec_fingerprint())
+            if encoded is None and shipped:
+                # The plane fell back *after* the lifted-budget ship:
+                # re-check the caches against the pickle budget so the
+                # fallback never ships a payload the legacy path would
+                # have refused.
+                caches = spec.golden_caches or {}
+                nbytes = sum(np.asarray(value).nbytes
+                             for cache in caches.values()
+                             for value in cache.values())
+                if nbytes > cache_budget_bytes:
+                    spec.golden_caches = None
         payloads = [(offset, [(index, plan.to_payload())
                               for index, plan in chunk])
                     for offset, chunk in shards]
         mode_value = equivalence.value if equivalence is not None else None
-        # fork (where available) keeps worker start-up cheap; the spec is
-        # still pickled and shipped through the pool's task queue, so the
-        # worker protocol is identical under spawn.
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - Windows / macOS spawn-only environments
-            context = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=len(payloads),
-                                 mp_context=context) as pool:
-            futures = [pool.submit(_run_campaign_shard, spec, chunk,
-                                   trial_offset + offset, keep_faults,
-                                   incremental, batch_trials, mode_value,
-                                   max_ulps, sparse_delta)
-                       for offset, chunk in payloads]
-            partials = [future.result() for future in futures]
+        # fork (where available) keeps worker start-up cheap; the payload
+        # still travels through the pool's task queue, so the worker
+        # protocol is identical under spawn (REPRO_START_METHOD forces
+        # a specific start method for the CI smoke matrix).
+        context = campaign_mp_context()
+        try:
+            with ProcessPoolExecutor(max_workers=len(payloads),
+                                     mp_context=context) as pool:
+                if encoded is not None:
+                    futures = [pool.submit(_run_campaign_shard_shm,
+                                           encoded.payload, chunk,
+                                           trial_offset + offset,
+                                           keep_faults, incremental,
+                                           batch_trials, mode_value,
+                                           max_ulps, sparse_delta)
+                               for offset, chunk in payloads]
+                else:
+                    futures = [pool.submit(_run_campaign_shard, spec, chunk,
+                                           trial_offset + offset, keep_faults,
+                                           incremental, batch_trials,
+                                           mode_value, max_ulps, sparse_delta)
+                               for offset, chunk in payloads]
+                partials = [future.result() for future in futures]
+        finally:
+            if encoded is not None:
+                encoded.release()
         return CampaignResult.merge(partials)
 
 
@@ -1254,6 +1335,59 @@ def _run_campaign_shard(spec: CampaignSpec,
                         incremental=incremental, trial_offset=trial_offset,
                         batch_trials=batch_trials, equivalence=equivalence,
                         max_ulps=max_ulps, sparse_delta=sparse_delta)
+
+
+def encode_campaign_spec(plane, spec: CampaignSpec,
+                         fingerprint: str):
+    """Publish ``spec``'s big arrays through the cache plane.
+
+    Routes the evaluation inputs to a content-keyed segment (shared by
+    the two arms of a paired comparison), the golden caches to a
+    ``golden:<fingerprint>:<shipped indices>`` segment, and everything
+    else (weights, criteria state) to ``body:<fingerprint>``.  Returns
+    the :class:`~repro.parallel.shm.EncodedObject` — whose ``payload``
+    is the per-task skeleton pickle — or ``None`` when the plane
+    declined (caller takes the pickle path).
+    """
+    golden_ids: frozenset = frozenset()
+    golden_key = None
+    if spec.golden_caches:
+        golden_ids = frozenset(
+            id(value) for cache in spec.golden_caches.values()
+            for value in cache.values())
+        subset = hashlib.sha1(
+            repr(sorted(spec.golden_caches)).encode()).hexdigest()[:12]
+        golden_key = f"golden:{fingerprint}:{subset}"
+    inputs_array = None
+    inputs_key = None
+    if (type(spec.inputs) is np.ndarray and spec.inputs.flags.c_contiguous
+            and not spec.inputs.dtype.hasobject):
+        inputs_array = spec.inputs
+        inputs_key = f"inputs:{array_content_key(spec.inputs)}"
+    return plane.encode(spec, body_key=f"body:{fingerprint}",
+                        inputs_array=inputs_array, inputs_key=inputs_key,
+                        golden_ids=golden_ids, golden_key=golden_key)
+
+
+def _run_campaign_shard_shm(payload,
+                            plan_payload: Sequence[Tuple[int, Sequence]],
+                            trial_offset: int, keep_faults: bool,
+                            incremental: bool, batch_trials: int = 1,
+                            equivalence: Optional[str] = None,
+                            max_ulps: float = DEFAULT_MAX_ULPS,
+                            sparse_delta: bool = True) -> CampaignResult:
+    """Worker entry point for plane-encoded specs.
+
+    Maps the referenced shared segments (attach-only: the parent owns
+    every unlink), rebuilds the spec around read-only zero-copy views
+    and runs the shard exactly like :func:`_run_campaign_shard`.
+    """
+    from ..parallel import shm as shm_mod
+
+    spec, _ = shm_mod.decode(payload)
+    return _run_campaign_shard(spec, plan_payload, trial_offset, keep_faults,
+                               incremental, batch_trials, equivalence,
+                               max_ulps, sparse_delta)
 
 
 def _run_adaptive_group(campaigns: Sequence[FaultInjectionCampaign], *,
@@ -1522,32 +1656,39 @@ def compare_protection(unprotected: Model, protected: Model,
     guarded = FaultInjectionCampaign(protected, inputs, fault_model=fault_model,
                                      criteria=criteria,
                                      dtype_policy=dtype_policy, seed=seed)
-    if (target_half_width is not None or strata is not None
-            or wave_trials is not None):
-        mode = EquivalenceMode.coerce(
-            equivalence, EquivalenceMode.EXACT if batch_trials == 1
-            else EquivalenceMode.ULP_TOLERANT)
-        results = _run_adaptive_group(
-            [base, guarded], trials=trials, plans=None,
-            wave_trials=wave_trials, target_half_width=target_half_width,
-            strata=strata, z=z, interval_method=interval_method,
-            keep_faults=False, incremental=incremental, workers=workers,
-            batch_trials=batch_trials, mode=mode,
-            max_ulps=DEFAULT_MAX_ULPS,
-            cache_budget_bytes=DEFAULT_CACHE_BUDGET_BYTES, pool=pool,
-            sparse_delta=sparse_delta, joint_stop=joint_stop,
-            on_wave=on_wave)
-        return results[0], results[1]
-    plans = base.generate_plans(trials)
-    packing = None
-    if batch_trials > 1 and workers == 1 and pool is None:
-        packing = base.pack_batches(plans, batch_trials)
-    return (base.run(plans=plans, incremental=incremental, workers=workers,
-                     batch_trials=batch_trials, equivalence=equivalence,
-                     packing=packing, pool=pool, sparse_delta=sparse_delta,
-                     interval_method=interval_method),
-            guarded.run(plans=plans, incremental=incremental, workers=workers,
-                        batch_trials=batch_trials, equivalence=equivalence,
-                        packing=packing, pool=pool,
-                        sparse_delta=sparse_delta,
-                        interval_method=interval_method))
+    # One plane scope over both arms: the content-keyed segments the arms
+    # share (notably the evaluation-inputs bundle — both campaigns hold
+    # the same `inputs` array) are published once by the first arm and
+    # stay pinned until the second arm is done, instead of being unlinked
+    # and republished between the runs.
+    with plane_scope():
+        if (target_half_width is not None or strata is not None
+                or wave_trials is not None):
+            mode = EquivalenceMode.coerce(
+                equivalence, EquivalenceMode.EXACT if batch_trials == 1
+                else EquivalenceMode.ULP_TOLERANT)
+            results = _run_adaptive_group(
+                [base, guarded], trials=trials, plans=None,
+                wave_trials=wave_trials, target_half_width=target_half_width,
+                strata=strata, z=z, interval_method=interval_method,
+                keep_faults=False, incremental=incremental, workers=workers,
+                batch_trials=batch_trials, mode=mode,
+                max_ulps=DEFAULT_MAX_ULPS,
+                cache_budget_bytes=DEFAULT_CACHE_BUDGET_BYTES, pool=pool,
+                sparse_delta=sparse_delta, joint_stop=joint_stop,
+                on_wave=on_wave)
+            return results[0], results[1]
+        plans = base.generate_plans(trials)
+        packing = None
+        if batch_trials > 1 and workers == 1 and pool is None:
+            packing = base.pack_batches(plans, batch_trials)
+        return (base.run(plans=plans, incremental=incremental,
+                         workers=workers, batch_trials=batch_trials,
+                         equivalence=equivalence, packing=packing, pool=pool,
+                         sparse_delta=sparse_delta,
+                         interval_method=interval_method),
+                guarded.run(plans=plans, incremental=incremental,
+                            workers=workers, batch_trials=batch_trials,
+                            equivalence=equivalence, packing=packing,
+                            pool=pool, sparse_delta=sparse_delta,
+                            interval_method=interval_method))

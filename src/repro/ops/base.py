@@ -91,8 +91,29 @@ class Operator:
     #: flatten and concat move elements without altering their bits.
     sparse_kind: str = "value"
 
+    #: **Preallocated-output contract** (audited for the replay buffer
+    #: arena).  True when :meth:`forward_out` writes the forward result
+    #: into a caller-provided buffer with bits identical to
+    #: :meth:`forward` — each override is a re-expression of the same
+    #: IEEE-754 elementwise computation through ufunc ``out=`` arguments
+    #: (using only bit-exact rewrites such as commuting a multiply), so
+    #: buffer reuse can never change a result byte.  Operators that
+    #: return views (``Identity``, reshape) or allocate internally
+    #: (matmul, conv) keep the default and the arena skips them.
+    supports_out: bool = False
+
     def forward(self, *inputs: Array) -> Array:
         raise NotImplementedError
+
+    def forward_out(self, out: Array, *inputs: Array) -> Array:
+        """Forward pass writing into ``out`` (same shape/dtype as the
+        result).  ``out`` is never aliased with any input — the arena
+        keys buffers per node, and a DAG node is not its own input.
+        The default ignores ``out`` and defers to :meth:`forward`;
+        overrides must return ``out``.  Only called when
+        :attr:`supports_out` is True.
+        """
+        return self.forward(*inputs)
 
     def sparse_forward(self, indices: Array, *inputs: Array) -> Array:
         """Evaluate only the row elements at C-order flat ``indices``.

@@ -50,12 +50,19 @@ class BiasAdd(Operator):
     """Adds a bias vector to the last axis of the input."""
 
     elementwise_exact = True
+    supports_out = True
 
     def forward(self, x: Array, b: Array) -> Array:
         if b.ndim != 1 or x.shape[-1] != b.shape[0]:
             raise OperatorError(
                 f"BiasAdd shape mismatch: input {x.shape}, bias {b.shape}")
         return x + b
+
+    def forward_out(self, out: Array, x: Array, b: Array) -> Array:
+        if b.ndim != 1 or x.shape[-1] != b.shape[0]:
+            raise OperatorError(
+                f"BiasAdd shape mismatch: input {x.shape}, bias {b.shape}")
+        return np.add(x, b, out=out)
 
     def sparse_forward(self, indices: Array, x: Array, b: Array) -> Array:
         # The bias arrives gathered to the changed positions (the same
@@ -75,9 +82,13 @@ class Add(Operator):
     """Element-wise addition (used by ResNet shortcut connections)."""
 
     elementwise_exact = True
+    supports_out = True
 
     def forward(self, a: Array, b: Array) -> Array:
         return a + b
+
+    def forward_out(self, out: Array, a: Array, b: Array) -> Array:
+        return np.add(a, b, out=out)
 
     def backward(self, grad, inputs, output):
         a, b = inputs
@@ -88,9 +99,13 @@ class Multiply(Operator):
     """Element-wise multiplication."""
 
     elementwise_exact = True
+    supports_out = True
 
     def forward(self, a: Array, b: Array) -> Array:
         return a * b
+
+    def forward_out(self, out: Array, a: Array, b: Array) -> Array:
+        return np.multiply(a, b, out=out)
 
     def backward(self, grad, inputs, output):
         a, b = inputs
@@ -101,12 +116,16 @@ class Scale(Operator):
     """Multiplication by a compile-time scalar constant."""
 
     elementwise_exact = True
+    supports_out = True
 
     def __init__(self, factor: float) -> None:
         self.factor = float(factor)
 
     def forward(self, x: Array) -> Array:
         return x * self.factor
+
+    def forward_out(self, out: Array, x: Array) -> Array:
+        return np.multiply(x, self.factor, out=out)
 
     def backward(self, grad, inputs, output):
         return [grad * self.factor]
@@ -123,9 +142,13 @@ class Minimum(Operator):
     #: Per-element comparison against a broadcast bound; the executor
     #: gathers the bound at the changed positions.
     elementwise_exact = True
+    supports_out = True
 
     def forward(self, x: Array, bound: Array) -> Array:
         return np.minimum(x, bound)
+
+    def forward_out(self, out: Array, x: Array, bound: Array) -> Array:
+        return np.minimum(x, bound, out=out)
 
     def backward(self, grad, inputs, output):
         x, bound = inputs
@@ -141,9 +164,13 @@ class Maximum(Operator):
     #: Per-element comparison against a broadcast bound; the executor
     #: gathers the bound at the changed positions.
     elementwise_exact = True
+    supports_out = True
 
     def forward(self, x: Array, bound: Array) -> Array:
         return np.maximum(x, bound)
+
+    def forward_out(self, out: Array, x: Array, bound: Array) -> Array:
+        return np.maximum(x, bound, out=out)
 
     def backward(self, grad, inputs, output):
         x, bound = inputs
@@ -158,6 +185,7 @@ class ClipByValue(Operator):
     injectable = False
     #: Per-element clip against compile-time scalar bounds.
     elementwise_exact = True
+    supports_out = True
 
     def __init__(self, low: float, high: float) -> None:
         if low > high:
@@ -167,6 +195,9 @@ class ClipByValue(Operator):
 
     def forward(self, x: Array) -> Array:
         return np.clip(x, self.low, self.high)
+
+    def forward_out(self, out: Array, x: Array) -> Array:
+        return np.clip(x, self.low, self.high, out=out)
 
     def backward(self, grad, inputs, output):
         (x,) = inputs

@@ -1,0 +1,39 @@
+"""Shared-memory cache plane for multiprocess campaign fan-out."""
+
+from .shm import (
+    DISABLE_ENV,
+    MIN_SHM_ARRAY_BYTES,
+    SEGMENT_PREFIX,
+    START_METHOD_ENV,
+    EncodedObject,
+    PlaneScope,
+    SharedCachePlane,
+    array_content_key,
+    campaign_mp_context,
+    decode,
+    is_shm_payload,
+    map_segment,
+    plane_scope,
+    reset_plane_for_tests,
+    shared_plane,
+    shm_disabled_by_env,
+)
+
+__all__ = [
+    "DISABLE_ENV",
+    "MIN_SHM_ARRAY_BYTES",
+    "SEGMENT_PREFIX",
+    "START_METHOD_ENV",
+    "EncodedObject",
+    "PlaneScope",
+    "SharedCachePlane",
+    "array_content_key",
+    "campaign_mp_context",
+    "decode",
+    "is_shm_payload",
+    "map_segment",
+    "plane_scope",
+    "reset_plane_for_tests",
+    "shared_plane",
+    "shm_disabled_by_env",
+]

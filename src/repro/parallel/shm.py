@@ -1,0 +1,595 @@
+"""Zero-copy shared-memory cache plane for worker fan-out.
+
+Every multiprocess campaign path used to pay ``workers x (pickle +
+unpickle)`` to move the same golden activation caches, model weights and
+input tensors into each worker process.  The :class:`SharedCachePlane`
+publishes those arrays **once** into POSIX shared-memory segments
+(:mod:`multiprocessing.shared_memory`) and replaces them inside the
+pickled campaign spec with tiny segment references; workers map the
+segments and reconstruct the arrays as **read-only zero-copy numpy
+views**.  The per-task dispatch payload shrinks from the full model +
+caches to a few kilobytes of skeleton pickle, and worker RSS stops
+scaling with ``workers`` for the shared state (every process maps the
+same physical pages).
+
+Design invariants
+-----------------
+
+* **Bit-identity.**  A mapped view holds exactly the bytes of the array
+  it replaced (same dtype, shape, C-order), so ``pickle.dumps`` of a
+  rebuilt spec — and therefore every fingerprint and every campaign
+  result — is unchanged.  The plane changes how bytes travel, never
+  which bytes.
+* **Read-only views.**  Worker-side views have ``writeable = False``;
+  the replay engine's copy-on-entry discipline (it copies before any
+  mutation of cached state) means nothing ever writes through a mapped
+  golden segment, and an accidental write raises ``ValueError`` instead
+  of corrupting a sibling worker.
+* **Content-keyed, refcounted segments.**  One segment per content
+  fingerprint: the spec body is keyed by the campaign's
+  :func:`~repro.injection.pool.spec_fingerprint`, golden-cache bundles
+  by ``(spec fingerprint, shipped input indices)``, and the evaluation
+  inputs by a SHA-1 of their raw bytes — so the two arms of a paired
+  :func:`~repro.injection.campaign.compare_protection` share one
+  inputs segment.  Holders (a running ``run(workers=N)`` call, a
+  :class:`~repro.injection.pool.CampaignPool`, an
+  :class:`~repro.service.store.ArtifactStore` golden handle) pin
+  segments; the last release unlinks.
+* **No leaks.**  The creating process owns every unlink: segments are
+  unlinked when their refcount drops to zero, on :meth:`close`, and at
+  interpreter exit (``atexit``).  Workers only ever attach and never
+  unlink, and a SIGKILLed worker leaves nothing behind (its mappings
+  die with the process; the name is the parent's to remove).  The
+  ``atexit`` hook is pid-guarded so fork-children (pool workers inherit
+  the parent's plane object) cannot unlink segments the parent still
+  uses.
+* **Graceful fallback.**  ``REPRO_DISABLE_SHM=1``, an unavailable
+  ``/dev/shm``, or any segment-creation failure disables the plane and
+  callers fall back to the legacy pickle path; non-contiguous,
+  object-dtype or tiny arrays are simply left inline in the pickle.
+
+Segment names are ``repro_shm_<pid>_<token>_<seq>`` — owning pid, a
+random per-plane token (attached segments are cached by name for the
+process lifetime, so names must never be reused across plane
+instances), and a sequence number (see ``docs/service.md`` for the
+name/key table).  The lifecycle tests scan ``/dev/shm`` for the prefix
+to prove nothing leaked.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import io
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Environment knob: set to a non-empty value (other than ``0``) to force
+#: every dispatch layer onto the legacy pickle path.
+DISABLE_ENV = "REPRO_DISABLE_SHM"
+
+#: Environment knob for the CI smoke matrix: force the multiprocessing
+#: start method campaigns and pools use (``fork`` / ``spawn``).
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: Arrays below this size stay inline in the pickle: a segment reference
+#: plus mapping round-trip costs more than pickling a few KiB.
+MIN_SHM_ARRAY_BYTES = 4096
+
+#: Segment payload alignment (numpy views are happiest cache-aligned).
+ALIGNMENT = 64
+
+#: ``/dev/shm`` name prefix of every segment the plane creates; the
+#: lifecycle tests scan for it to prove nothing leaked.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Picklable payloads produced by :meth:`SharedCachePlane.encode` are
+#: tagged so worker entry points can tell them from legacy specs.
+PAYLOAD_TAG = "shmspec-v1"
+
+
+def shm_disabled_by_env() -> bool:
+    """Whether ``REPRO_DISABLE_SHM`` asks for the pickle fallback."""
+    value = os.environ.get(DISABLE_ENV, "")
+    return bool(value) and value != "0"
+
+
+def campaign_mp_context():
+    """The multiprocessing context campaigns and pools fan out with.
+
+    ``REPRO_START_METHOD`` (the CI smoke matrix knob) wins; otherwise
+    fork where available — cheap worker start-up — with the platform
+    default as the spawn-only fallback.
+    """
+    import multiprocessing
+
+    forced = os.environ.get(START_METHOD_ENV, "")
+    if forced:
+        return multiprocessing.get_context(forced)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()  # pragma: no cover - spawn-only hosts
+
+
+def _sha1_bytes(view) -> str:
+    digest = hashlib.sha1()
+    digest.update(view)
+    return digest.hexdigest()
+
+
+def array_content_key(array: np.ndarray) -> str:
+    """SHA-1 content key of one C-contiguous array's raw bytes + layout."""
+    digest = hashlib.sha1()
+    digest.update(str((array.dtype.str, array.shape)).encode())
+    digest.update(array.reshape(-1).view(np.uint8).data)
+    return digest.hexdigest()
+
+
+def _publishable(obj: Any) -> bool:
+    """Arrays worth externalizing: big, C-contiguous, plain-data ndarray.
+
+    Everything else (small arrays, Fortran/strided views, object dtypes,
+    ndarray subclasses) pickles inline — the per-array graceful fallback.
+    """
+    return (type(obj) is np.ndarray
+            and obj.ndim >= 1
+            and obj.nbytes >= MIN_SHM_ARRAY_BYTES
+            and obj.flags.c_contiguous
+            and not obj.dtype.hasobject)
+
+
+@dataclass
+class _Segment:
+    """One parent-owned shared-memory segment (refcounted)."""
+
+    key: str
+    shm: shared_memory.SharedMemory
+    manifest: List[Tuple[int, str, Tuple[int, ...]]]
+    nbytes: int
+    refcount: int = 0
+
+
+@dataclass
+class EncodedObject:
+    """A plane-encoded picklable payload plus the segment pins backing it.
+
+    ``payload`` is what travels to the worker (tiny); the holder must
+    call :meth:`release` (idempotent) once no more tasks will be
+    submitted with it, which drops one pin per backing segment.
+    """
+
+    payload: Tuple
+    segment_keys: Tuple[str, ...]
+    inline_bytes: int
+    shared_bytes: int
+    _plane: "SharedCachePlane" = field(repr=False, default=None)
+    _released: bool = field(default=False, repr=False)
+
+    def release(self) -> None:
+        if self._released or self._plane is None:
+            return
+        self._released = True
+        for key in self.segment_keys:
+            self._plane.release(key)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Size of what is actually pickled per task (the skeleton)."""
+        return self.inline_bytes
+
+
+class _CollectingPickler(pickle.Pickler):
+    """Pickler that swaps publishable arrays for persistent segment refs.
+
+    ``route(obj)`` returns the bundle tag an array belongs to; arrays are
+    deduplicated by object identity, so an array referenced twice in the
+    spec costs one slot (and unpickles to one shared view, like pickle
+    memoization would).
+    """
+
+    def __init__(self, file, route):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._route = route
+        self.bundles: Dict[str, List[np.ndarray]] = {}
+        self._slot_of: Dict[int, Tuple[str, int]] = {}
+
+    def persistent_id(self, obj):
+        if not _publishable(obj):
+            return None
+        slot = self._slot_of.get(id(obj))
+        if slot is None:
+            tag = self._route(obj)
+            arrays = self.bundles.setdefault(tag, [])
+            slot = (tag, len(arrays))
+            arrays.append(obj)
+            self._slot_of[id(obj)] = slot
+        return ("shm", slot[0], slot[1])
+
+
+class _ResolvingUnpickler(pickle.Unpickler):
+    """Unpickler that resolves persistent segment refs to read-only views."""
+
+    def __init__(self, file, views: Dict[str, List[np.ndarray]]):
+        super().__init__(file)
+        self._views = views
+
+    def persistent_load(self, pid):
+        kind, tag, slot = pid
+        if kind != "shm":  # pragma: no cover - defensive
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self._views[tag][slot]
+
+
+class SharedCachePlane:
+    """Publishes arrays once into shared memory; workers map them read-only.
+
+    One plane per parent process (see :func:`shared_plane`); thread-safe.
+    ``available`` turns False permanently on the first environment
+    failure (no ``/dev/shm``, exhausted shm quota), after which
+    :meth:`encode` returns ``None`` and callers use the pickle path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._segments: Dict[str, _Segment] = {}
+        self._owner_pid = os.getpid()
+        # Names must be unique across plane *instances*, not just within
+        # one: forked workers (and the parent's own decode path) cache
+        # attached segments by name for their process lifetime, so a new
+        # plane reusing ``<pid>_<seq>`` names would resolve to stale
+        # mappings of the old, unlinked segments.
+        self._token = os.urandom(4).hex()
+        self._seq = 0
+        self._closed = False
+        self._available: Optional[bool] = None
+        self._scopes: List["PlaneScope"] = []
+        # Segments whose close() failed with BufferError (live views still
+        # reference the buffer): kept referenced so GC never runs their
+        # __del__ mid-use; the memory is reclaimed at process exit.
+        self._zombies: List[shared_memory.SharedMemory] = []
+        self.published_segments = 0
+        self.reused_segments = 0
+        self.unlinked_segments = 0
+        self.fallbacks = 0
+
+    # -- availability --------------------------------------------------------
+
+    def available(self) -> bool:
+        """Whether shared-memory publication is usable right now."""
+        if shm_disabled_by_env() or self._closed:
+            return False
+        if self._available is None:
+            self._available = self._probe()
+        return self._available
+
+    def _probe(self) -> bool:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=1)
+        except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+            return False
+        probe.close()
+        probe.unlink()
+        return True
+
+    # -- segment lifecycle ---------------------------------------------------
+
+    def _new_segment_name(self) -> str:
+        self._seq += 1
+        return f"{SEGMENT_PREFIX}{self._owner_pid}_{self._token}_{self._seq}"
+
+    def _create_segment(self, key: str,
+                        arrays: Sequence[np.ndarray]) -> _Segment:
+        manifest: List[Tuple[int, str, Tuple[int, ...]]] = []
+        offset = 0
+        for array in arrays:
+            offset = -(-offset // ALIGNMENT) * ALIGNMENT
+            manifest.append((offset, array.dtype.str, array.shape))
+            offset += array.nbytes
+        size = max(offset, 1)
+        shm = None
+        for _ in range(8):  # name collisions (stale /dev/shm) retry
+            name = self._new_segment_name()
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=size,
+                                                 name=name)
+                break
+            except FileExistsError:  # pragma: no cover - stale name
+                continue
+        if shm is None:  # pragma: no cover - pathological
+            raise OSError(f"could not allocate shared segment for {key}")
+        for (off, dtype, shape), array in zip(manifest, arrays):
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf,
+                              offset=off)
+            view[...] = array
+        segment = _Segment(key=key, shm=shm, manifest=manifest, nbytes=size)
+        self._segments[key] = segment
+        self.published_segments += 1
+        return segment
+
+    def _acquire(self, key: str, arrays: Sequence[np.ndarray]) -> _Segment:
+        segment = self._segments.get(key)
+        if segment is not None:
+            if len(segment.manifest) != len(arrays):  # pragma: no cover
+                raise ValueError(
+                    f"segment {key} already published with "
+                    f"{len(segment.manifest)} arrays, got {len(arrays)}")
+            self.reused_segments += 1
+        else:
+            segment = self._create_segment(key, arrays)
+        segment.refcount += 1
+        for scope in self._scopes:
+            if key not in scope._seen:
+                segment.refcount += 1
+                scope._pin(key)
+        return segment
+
+    def release(self, key: str) -> None:
+        """Drop one pin; the last release unlinks the segment."""
+        with self._lock:
+            segment = self._segments.get(key)
+            if segment is None:
+                return
+            segment.refcount -= 1
+            if segment.refcount <= 0:
+                del self._segments[key]
+                self._unlink(segment)
+
+    def _unlink(self, segment: _Segment) -> None:
+        try:
+            segment.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        try:
+            segment.shm.close()
+        except BufferError:
+            # Live views still reference the buffer (e.g. golden views
+            # handed to a finished campaign).  The name is gone from
+            # /dev/shm either way; park the mapping so GC cannot trip
+            # over the exported pointers.
+            self._zombies.append(segment.shm)
+        self.unlinked_segments += 1
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; fork-children are no-ops)."""
+        with self._lock:
+            if os.getpid() != self._owner_pid:
+                return
+            for segment in list(self._segments.values()):
+                self._unlink(segment)
+            self._segments.clear()
+            self._closed = True
+
+    # -- encode / publish ----------------------------------------------------
+
+    def encode(self, obj: Any, body_key: str,
+               inputs_array: Optional[np.ndarray] = None,
+               inputs_key: Optional[str] = None,
+               golden_ids: Optional[frozenset] = None,
+               golden_key: Optional[str] = None) -> Optional[EncodedObject]:
+        """Pickle ``obj`` with its big arrays externalized to segments.
+
+        Arrays are routed to up to three bundles: the designated inputs
+        array to ``inputs_key`` (content-keyed, so identical inputs in
+        two specs share a segment), arrays whose ``id`` is in
+        ``golden_ids`` to ``golden_key``, and everything else (weights,
+        criteria state) to ``body_key``.  Returns ``None`` — take the
+        pickle path — when the plane is unavailable or publication
+        fails.
+        """
+        if not self.available():
+            return None
+        buffer = io.BytesIO()
+        inputs_id = id(inputs_array) if inputs_array is not None else None
+        golden_ids = golden_ids or frozenset()
+
+        def route(array: np.ndarray) -> str:
+            if inputs_id is not None and id(array) == inputs_id:
+                return "inputs"
+            if id(array) in golden_ids:
+                return "golden"
+            return "body"
+
+        try:
+            pickler = _CollectingPickler(buffer, route)
+            pickler.dump(obj)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            self.fallbacks += 1
+            return None
+        key_of = {"body": body_key, "inputs": inputs_key,
+                  "golden": golden_key}
+        with self._lock:
+            if not self.available():
+                return None
+            acquired: List[str] = []
+            descriptors: Dict[str, Tuple[str, List]] = {}
+            shared_bytes = 0
+            try:
+                for tag, arrays in pickler.bundles.items():
+                    key = key_of.get(tag) or f"{body_key}:{tag}"
+                    segment = self._acquire(key, arrays)
+                    acquired.append(key)
+                    descriptors[tag] = (segment.shm.name, segment.manifest)
+                    shared_bytes += sum(a.nbytes for a in arrays)
+            except (OSError, ValueError, MemoryError):
+                for key in acquired:
+                    self.release(key)
+                self._available = False  # environment failure: stay off
+                self.fallbacks += 1
+                return None
+            payload = (PAYLOAD_TAG, buffer.getvalue(), descriptors)
+            return EncodedObject(payload=payload,
+                                 segment_keys=tuple(acquired),
+                                 inline_bytes=len(payload[1]),
+                                 shared_bytes=shared_bytes, _plane=self)
+
+    def decode_local(self, payload: Tuple) -> Any:
+        """Decode a payload inside the owning process (zero-copy views of
+        the plane's own segments; used by the in-process scheduler path
+        and the store's golden handles)."""
+        tag, pickled, descriptors = payload
+        assert tag == PAYLOAD_TAG
+        views: Dict[str, List[np.ndarray]] = {}
+        with self._lock:
+            by_name = {seg.shm.name: seg for seg in self._segments.values()}
+        for bundle, (name, manifest) in descriptors.items():
+            segment = by_name.get(name)
+            if segment is not None:
+                views[bundle] = _views_from(segment.shm, manifest)
+            else:  # segment already unlinked locally: attach like a worker
+                views[bundle] = map_segment(name, manifest)[0]
+        return _ResolvingUnpickler(io.BytesIO(pickled), views).load()
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "segment_bytes": sum(s.nbytes
+                                     for s in self._segments.values()),
+                "published": self.published_segments,
+                "reused": self.reused_segments,
+                "unlinked": self.unlinked_segments,
+                "fallbacks": self.fallbacks,
+            }
+
+
+def _views_from(shm: shared_memory.SharedMemory,
+                manifest: Sequence[Tuple[int, str, Tuple[int, ...]]]
+                ) -> List[np.ndarray]:
+    views: List[np.ndarray] = []
+    for offset, dtype, shape in manifest:
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                          buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views.append(view)
+    return views
+
+
+# -- worker-side mapping ------------------------------------------------------
+
+#: Segments this process has attached, by name.  Mappings are kept for
+#: the process lifetime: closing a mapping while numpy views still
+#: reference it is a crash, and an idle mapping costs address space, not
+#: memory.  (Unlinking the name — the parent's job — does not invalidate
+#: an existing mapping.)  The attach re-REGISTERs the name with the
+#: multiprocessing resource tracker, which is a set-idempotent no-op:
+#: the single parent-side unlink unregisters it exactly once.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def map_segment(name: str,
+                manifest: Sequence[Tuple[int, str, Tuple[int, ...]]]
+                ) -> Tuple[List[np.ndarray], bool]:
+    """Map one segment into this process as read-only views.
+
+    Returns ``(views, remapped)`` where ``remapped`` says the segment
+    was already attached (the warm-pool re-map instead of re-unpickle).
+    """
+    shm = _ATTACHED.get(name)
+    remapped = shm is not None
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = shm
+    return _views_from(shm, manifest), remapped
+
+
+def decode(payload: Tuple) -> Tuple[Any, Dict[str, int]]:
+    """Worker-side decode: map segments, rebuild the object around
+    read-only views.  Returns ``(obj, stats)`` with ``segments_mapped``
+    / ``segments_remapped`` counters for :meth:`CampaignPool.stats`."""
+    tag, pickled, descriptors = payload
+    if tag != PAYLOAD_TAG:
+        raise ValueError(f"not a shared-memory payload: {tag!r}")
+    views: Dict[str, List[np.ndarray]] = {}
+    stats = {"segments_mapped": 0, "segments_remapped": 0}
+    for bundle, (name, manifest) in descriptors.items():
+        bundle_views, remapped = map_segment(name, manifest)
+        views[bundle] = bundle_views
+        stats["segments_remapped" if remapped
+              else "segments_mapped"] += 1
+    obj = _ResolvingUnpickler(io.BytesIO(pickled), views).load()
+    return obj, stats
+
+
+def is_shm_payload(payload: Any) -> bool:
+    return (isinstance(payload, tuple) and len(payload) == 3
+            and payload[0] == PAYLOAD_TAG)
+
+
+# -- process-global plane -----------------------------------------------------
+
+_PLANE: Optional[SharedCachePlane] = None
+_PLANE_LOCK = threading.Lock()
+
+
+def shared_plane() -> Optional[SharedCachePlane]:
+    """The process-wide plane, or ``None`` when shared memory is off.
+
+    Created lazily and unlinked at interpreter exit.  Both arms of a
+    paired comparison, every campaign pool and the artifact store all
+    publish through this one plane, so content-identical bundles (the
+    shared evaluation inputs of a protected/unprotected pair) are
+    published once.
+    """
+    global _PLANE
+    if shm_disabled_by_env():
+        return None
+    with _PLANE_LOCK:
+        if _PLANE is None or _PLANE._closed:
+            plane = SharedCachePlane()
+            if not plane.available():
+                return None
+            atexit.register(plane.close)
+            _PLANE = plane
+        return _PLANE if _PLANE.available() else None
+
+
+def reset_plane_for_tests() -> None:
+    """Unlink everything and forget the global plane (test isolation)."""
+    global _PLANE
+    with _PLANE_LOCK:
+        if _PLANE is not None:
+            _PLANE.close()
+            _PLANE = None
+
+
+class PlaneScope:
+    """Pins every segment published while active (paired-campaign scope).
+
+    ``compare_protection`` wraps its two arms in one scope so the
+    content-shared segments (the inputs bundle) stay alive between the
+    arms' runs instead of being unlinked when the first arm's pins drop.
+    """
+
+    def __init__(self, plane: Optional[SharedCachePlane]) -> None:
+        self._plane = plane
+        self._pinned: List[str] = []
+        self._seen: set = set()
+
+    def __enter__(self) -> "PlaneScope":
+        if self._plane is not None:
+            self._plane._scopes.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._plane is not None:
+            self._plane._scopes.remove(self)
+            for key in self._pinned:
+                self._plane.release(key)
+
+    def _pin(self, key: str) -> None:
+        if key not in self._seen:
+            self._seen.add(key)
+            self._pinned.append(key)
+
+
+def plane_scope() -> PlaneScope:
+    """A :class:`PlaneScope` over the global plane (no-op when disabled)."""
+    return PlaneScope(shared_plane())

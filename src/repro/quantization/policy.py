@@ -43,10 +43,10 @@ class FixedPointPolicy(DTypePolicy):
         self.skip_categories = {"variable", "input"} | set(skip_categories or ())
         self.name = f"fixed{fmt.total_bits}"
 
-    def apply(self, node: Node, value):
+    def apply(self, node: Node, value, out=None):
         if node.category in self.skip_categories:
             return value
-        return self.fmt.quantize(value)
+        return self.fmt.quantize(value, out=out)
 
 
 def fixed32_policy() -> FixedPointPolicy:

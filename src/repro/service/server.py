@@ -176,6 +176,7 @@ class CampaignServer:
         if pool is not None and pool_workers:
             raise ValueError("pass either pool_workers or pool, not both")
         self.store = store if store is not None else ArtifactStore(store_root)
+        self._owns_store = store is None
         self._owns_pool = pool is None and bool(pool_workers)
         self.pool = pool if pool is not None else (
             CampaignPool(pool_workers) if pool_workers else None)
@@ -211,6 +212,10 @@ class CampaignServer:
         self._thread.join(timeout=timeout)
         if self.pool is not None and self._owns_pool:
             self.pool.close()
+        if self._owns_store:
+            # Releases the store's plane-backed golden handles, so the
+            # shared segments they pin are unlinked with the server.
+            self.store.close()
 
     # -- submission ---------------------------------------------------------
 

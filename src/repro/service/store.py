@@ -27,17 +27,24 @@ from __future__ import annotations
 import hashlib
 import pickle
 import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..parallel.shm import shared_plane
+
 #: Artifact kinds the store recognises (open set; these are the built-ins).
 ARTIFACT_KINDS = ("result", "golden", "ranger_profile")
 
-#: Default ceiling (bytes) on one golden-cache artifact.  Golden caches
-#: hold every activation of every referenced input; past this size the
-#: rebuild is cheaper than the memory the store would pin.
+#: Default ceiling (bytes) on one golden-cache artifact **on the pickle
+#: path**.  Golden caches hold every activation of every referenced
+#: input; past this size the rebuild is cheaper than the private memory
+#: the store would pin.  When the shared-memory cache plane is available
+#: the gate is lifted entirely: the caches live once in ``/dev/shm`` and
+#: every consumer maps the same physical pages, so pinning them costs
+#: one copy total instead of one per process.
 DEFAULT_GOLDEN_BUDGET_BYTES = 64 * 2 ** 20
 
 
@@ -55,6 +62,42 @@ def content_key(*parts: Any) -> str:
     return digest.hexdigest()
 
 
+class SharedGoldenCaches:
+    """A golden-cache artifact living on the shared-memory cache plane.
+
+    ``get("golden", ...)`` hands this out instead of a pickled dict when
+    the plane published the caches; consumers call :meth:`materialize`
+    for the ``{input index: {node: activations}}`` mapping rebuilt
+    around **read-only zero-copy views** of the shared segments.  The
+    handle pins the segments; the store releases the pin when the entry
+    is evicted or the store is closed.
+    """
+
+    def __init__(self, plane, encoded) -> None:
+        self._plane = plane
+        self._encoded = encoded
+        self._lock = threading.Lock()
+        self._cached: Optional[Dict[int, Dict[str, np.ndarray]]] = None
+
+    @property
+    def nbytes(self) -> int:
+        """Shared payload size (what the segments pin in ``/dev/shm``)."""
+        return self._encoded.inline_bytes + self._encoded.shared_bytes
+
+    def materialize(self) -> Dict[int, Dict[str, np.ndarray]]:
+        with self._lock:
+            if self._cached is None:
+                self._cached = self._plane.decode_local(
+                    self._encoded.payload)
+            return self._cached
+
+    def release(self) -> None:
+        """Drop the segment pins (idempotent; a prior :meth:`materialize`
+        keeps its views valid — unlinking removes the name, not live
+        mappings)."""
+        self._encoded.release()
+
+
 class ArtifactStore:
     """Content-addressed artifact cache with observable hit/miss counters.
 
@@ -67,12 +110,23 @@ class ArtifactStore:
 
     def __init__(self, root: Optional[Path] = None,
                  golden_budget_bytes: int = DEFAULT_GOLDEN_BUDGET_BYTES,
+                 entry_budgets: Optional[Dict[str, int]] = None,
+                 byte_budgets: Optional[Dict[str, int]] = None,
                  ) -> None:
         self.root = Path(root) if root is not None else None
         self.golden_budget_bytes = golden_budget_bytes
-        self._memory: Dict[str, Dict[str, Any]] = {}
+        #: Per-kind LRU budgets: max in-memory entries / bytes per kind
+        #: (unlisted kinds are unbounded, the historical behaviour).
+        #: Eviction drops the *memory tier* only — a disk-rooted store
+        #: keeps its write-through copy, so an evicted artifact costs a
+        #: disk reload, never a recompute.
+        self.entry_budgets = dict(entry_budgets or {})
+        self.byte_budgets = dict(byte_budgets or {})
+        self._memory: Dict[str, "OrderedDict[str, Any]"] = {}
+        self._nbytes: Dict[str, Dict[str, int]] = {}
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        self._evictions: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     # -- core ---------------------------------------------------------------
@@ -85,32 +139,79 @@ class ArtifactStore:
     def get(self, kind: str, key: str) -> Optional[Any]:
         """The stored artifact, or ``None`` — recording a hit or a miss."""
         with self._lock:
-            value = self._memory.get(kind, {}).get(key)
+            entries = self._memory.get(kind)
+            value = entries.get(key) if entries is not None else None
             if value is not None:
+                entries.move_to_end(key)
                 self._hits[kind] = self._hits.get(kind, 0) + 1
                 return value
             path = self._path(kind, key)
             if path is not None and path.exists():
                 with path.open("rb") as handle:
                     value = pickle.load(handle)
-                self._memory.setdefault(kind, {})[key] = value
+                self._insert(kind, key, value)
                 self._hits[kind] = self._hits.get(kind, 0) + 1
                 return value
             self._misses[kind] = self._misses.get(kind, 0) + 1
             return None
 
-    def put(self, kind: str, key: str, value: Any) -> None:
-        """Store an artifact (write-through to disk when rooted)."""
+    def put(self, kind: str, key: str, value: Any,
+            disk_value: Any = None) -> None:
+        """Store an artifact (write-through to disk when rooted).
+
+        ``disk_value`` overrides what the disk tier receives — the
+        golden path stores a plane handle in memory but a plain pickled
+        mapping on disk, so artifacts survive restarts (segments do not).
+        """
         with self._lock:
-            self._memory.setdefault(kind, {})[key] = value
+            self._insert(kind, key, value)
             path = self._path(kind, key)
             if path is not None:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 tmp = path.with_suffix(".tmp")
                 with tmp.open("wb") as handle:
-                    pickle.dump(value, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(value if disk_value is None else disk_value,
+                                handle, protocol=pickle.HIGHEST_PROTOCOL)
                 tmp.replace(path)  # atomic: readers never see partial pickles
+
+    def _insert(self, kind: str, key: str, value: Any) -> None:
+        """Memory-tier insert + LRU eviction sweep (caller holds the lock)."""
+        entries = self._memory.setdefault(kind, OrderedDict())
+        previous = entries.pop(key, None)
+        if previous is not None and previous is not value:
+            self._release_value(previous)
+        entries[key] = value
+        if kind in self.byte_budgets:
+            self._nbytes.setdefault(kind, {})[key] = \
+                self._value_nbytes(value)
+        entry_budget = self.entry_budgets.get(kind)
+        byte_budget = self.byte_budgets.get(kind)
+        while entries and (
+                (entry_budget is not None and len(entries) > entry_budget)
+                or (byte_budget is not None
+                    and sum(self._nbytes.get(kind, {}).values())
+                    > byte_budget)):
+            if len(entries) == 1:
+                break  # never evict the entry just inserted
+            stale_key, stale = entries.popitem(last=False)
+            self._nbytes.get(kind, {}).pop(stale_key, None)
+            self._release_value(stale)
+            self._evictions[kind] = self._evictions.get(kind, 0) + 1
+
+    @staticmethod
+    def _release_value(value: Any) -> None:
+        release = getattr(value, "release", None)
+        if callable(release):
+            release()
+
+    @staticmethod
+    def _value_nbytes(value: Any) -> int:
+        if hasattr(value, "nbytes") and not isinstance(value, np.ndarray):
+            return int(value.nbytes)
+        if (isinstance(value, dict)
+                and all(isinstance(entry, dict) for entry in value.values())):
+            return golden_caches_nbytes(value)
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
 
     def contains(self, kind: str, key: str) -> bool:
         """Presence probe that does *not* perturb the hit/miss counters."""
@@ -121,26 +222,64 @@ class ArtifactStore:
             return path is not None and path.exists()
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-kind ``{"hits", "misses", "entries"}`` counters."""
+        """Per-kind ``{"hits", "misses", "entries"}`` counters, plus an
+        ``"evictions"`` count for kinds the LRU budgets have actually
+        evicted from (omitted while zero, so unbudgeted deployments see
+        the historical shape)."""
         with self._lock:
-            kinds = (set(self._memory) | set(self._hits) | set(self._misses))
-            return {kind: {"hits": self._hits.get(kind, 0),
-                           "misses": self._misses.get(kind, 0),
-                           "entries": len(self._memory.get(kind, {}))}
-                    for kind in sorted(kinds)}
+            kinds = (set(self._memory) | set(self._hits) | set(self._misses)
+                     | set(self._evictions))
+            out: Dict[str, Dict[str, int]] = {}
+            for kind in sorted(kinds):
+                counters = {"hits": self._hits.get(kind, 0),
+                            "misses": self._misses.get(kind, 0),
+                            "entries": len(self._memory.get(kind, {}))}
+                if self._evictions.get(kind):
+                    counters["evictions"] = self._evictions[kind]
+                out[kind] = counters
+            return out
+
+    def close(self) -> None:
+        """Drop the memory tier and release every plane-backed handle
+        (idempotent; the disk tier is untouched)."""
+        with self._lock:
+            for entries in self._memory.values():
+                for value in entries.values():
+                    self._release_value(value)
+            self._memory.clear()
+            self._nbytes.clear()
 
     # -- golden caches ------------------------------------------------------
 
     def put_golden_caches(self, spec_key: str,
                           caches: Dict[int, Dict[str, np.ndarray]]) -> bool:
-        """Store a campaign's golden caches if they fit the budget.
+        """Store a campaign's golden caches.
 
-        Returns whether the caches were stored; empty mappings and
-        over-budget payloads are skipped (the next campaign rebuilds
-        lazily, exactly as without a store).
+        With the shared-memory cache plane available the caches are
+        published once into shared segments and the store keeps a
+        :class:`SharedGoldenCaches` handle — **no size gate**: the
+        payload exists once in ``/dev/shm`` regardless of how many
+        campaigns and workers consume it.  The disk tier (when rooted)
+        still receives the plain pickled mapping, so artifacts survive
+        restarts.  Without the plane the legacy pickle path applies its
+        ``golden_budget_bytes`` gate unchanged.  Returns whether the
+        caches were stored; empty mappings are always skipped.
         """
         if not caches:
             return False
+        plane = shared_plane()
+        if plane is not None:
+            encoded = plane.encode(caches,
+                                   body_key=f"store-golden:{spec_key}")
+            if encoded is not None and encoded.shared_bytes > 0:
+                handle = SharedGoldenCaches(plane, encoded)
+                self.put("golden", spec_key, handle, disk_value=caches)
+                return True
+            if encoded is not None:
+                # Nothing was worth externalizing (tiny arrays stay
+                # inline) — the shared handle buys nothing; keep the
+                # pickle path and its budget gate.
+                encoded.release()
         if golden_caches_nbytes(caches) > self.golden_budget_bytes:
             return False
         self.put("golden", spec_key, caches)

@@ -1,0 +1,244 @@
+"""Lifecycle suite for the shared-memory cache plane.
+
+The plane's contract has three parts, each tested here against real
+``/dev/shm`` state (the whole module is skipped where POSIX shared memory
+is unavailable):
+
+1. **No leaks.**  Every segment the parent publishes is unlinked by the
+   time its holders are gone — after a ``run(workers=N)`` call returns,
+   after a :class:`CampaignPool` or :class:`CampaignServer` closes, and
+   even when a worker process is SIGKILLed mid-lease (workers only ever
+   attach; the name is the parent's to remove).  The tests snapshot
+   ``/dev/shm`` and assert no ``repro_shm_*`` entry this test created
+   survives.
+2. **Read-only views.**  Mapped arrays are exactly the published bytes
+   and refuse writes (``ValueError``), so no worker can corrupt a
+   sibling through a shared golden cache.
+3. **Graceful fallback.**  With ``REPRO_DISABLE_SHM=1`` the plane stays
+   off, nothing touches ``/dev/shm``, and the multiprocess campaign
+   results are bit-identical to the serial reference — the plane changes
+   how bytes travel, never which bytes.
+"""
+
+import os
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.injection import CampaignPool, FaultInjectionCampaign, SingleBitFlip
+from repro.parallel import shm
+from repro.quantization import FIXED32
+from repro.service import ArtifactStore, CampaignServer
+
+SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="no /dev/shm on this host")
+
+
+def _segment_names() -> set:
+    return {name for name in os.listdir(SHM_DIR)
+            if name.startswith(shm.SEGMENT_PREFIX)}
+
+
+def _live_plane() -> shm.SharedCachePlane:
+    """The global plane, or skip — the CI fallback pass re-runs this file
+    with ``REPRO_DISABLE_SHM=1``, where only the fallback tests apply."""
+    plane = shm.shared_plane()
+    if plane is None:
+        pytest.skip("shared-memory cache plane disabled/unavailable")
+    return plane
+
+
+@pytest.fixture
+def fresh_plane():
+    """A fresh global plane, and proof this test leaked no segments."""
+    shm.reset_plane_for_tests()
+    preexisting = _segment_names()
+    yield
+    shm.reset_plane_for_tests()
+    leaked = _segment_names() - preexisting
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _campaign(prepared, num_inputs=3, seed=0):
+    inputs = prepared.dataset.x_val[:num_inputs]
+    return FaultInjectionCampaign(prepared.model, inputs,
+                                  fault_model=SingleBitFlip(FIXED32), seed=seed)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_is_bit_identical_and_views_are_readonly(
+            self, fresh_plane):
+        plane = _live_plane()
+        rng = np.random.default_rng(0)
+        obj = {"weights": rng.standard_normal((64, 32)),
+               "label": "skeleton", "bias": rng.standard_normal(900)}
+        encoded = plane.encode(obj, body_key="body:test-roundtrip")
+        assert encoded is not None and encoded.shared_bytes > 0
+        # The skeleton pickle no longer carries the big array's bytes.
+        assert encoded.payload_bytes < obj["weights"].nbytes
+        decoded, stats = shm.decode(encoded.payload)
+        assert stats["segments_mapped"] >= 1
+        assert np.array_equal(decoded["weights"], obj["weights"])
+        assert decoded["weights"].dtype == obj["weights"].dtype
+        assert np.array_equal(decoded["bias"], obj["bias"])
+        assert decoded["label"] == "skeleton"
+        for view in (decoded["weights"], decoded["bias"]):
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 0.0
+        encoded.release()
+
+    def test_small_and_awkward_arrays_stay_inline(self, fresh_plane):
+        plane = _live_plane()
+        rng = np.random.default_rng(1)
+        obj = {
+            "tiny": rng.standard_normal(4),  # below MIN_SHM_ARRAY_BYTES
+            "fortran": np.asfortranarray(rng.standard_normal((40, 40))),
+            "objects": np.array([None, "x"], dtype=object),
+        }
+        encoded = plane.encode(obj, body_key="body:test-inline")
+        assert encoded is not None
+        assert encoded.shared_bytes == 0  # nothing worth a segment
+        decoded, _ = shm.decode(encoded.payload)
+        assert np.array_equal(decoded["tiny"], obj["tiny"])
+        assert np.array_equal(decoded["fortran"], obj["fortran"])
+        assert decoded["fortran"].flags.writeable  # inline: a plain copy
+        encoded.release()
+
+    def test_release_of_last_pin_unlinks(self, fresh_plane):
+        plane = _live_plane()
+        before = _segment_names()
+        array = np.arange(4096, dtype=np.float64)
+        first = plane.encode({"a": array}, body_key="body:test-refcount")
+        second = plane.encode({"a": array}, body_key="body:test-refcount")
+        created = _segment_names() - before
+        assert len(created) == 1  # content-keyed: published once, reused
+        assert plane.reused_segments >= 1
+        first.release()
+        assert created <= _segment_names()  # second pin keeps it alive
+        second.release()
+        assert not (created & _segment_names())
+        first.release()  # idempotent
+
+    def test_decode_local_returns_equal_views(self, fresh_plane):
+        plane = _live_plane()
+        array = np.random.default_rng(2).standard_normal((30, 30))
+        encoded = plane.encode({"a": array}, body_key="body:test-local")
+        local = plane.decode_local(encoded.payload)
+        assert np.array_equal(local["a"], array)
+        assert not local["a"].flags.writeable
+        encoded.release()
+
+
+class TestDispatchLifecycle:
+    def test_run_workers_leaves_no_segments(self, untrained_lenet,
+                                            fresh_plane):
+        _live_plane()
+        campaign = _campaign(untrained_lenet)
+        plans = campaign.generate_plans(8)
+        reference = _campaign(untrained_lenet).run(plans=plans)
+        result = campaign.run(plans=plans, workers=2)
+        assert result.sdc_counts == reference.sdc_counts
+        plane = shm.shared_plane()
+        assert plane.published_segments > 0  # the run actually used the plane
+        assert plane.stats()["segments"] == 0  # ...and released everything
+
+    def test_pool_close_unlinks_segments(self, untrained_lenet, fresh_plane):
+        _live_plane()
+        campaign = _campaign(untrained_lenet)
+        plans = campaign.generate_plans(8)
+        before = _segment_names()
+        pool = CampaignPool(workers=2)
+        try:
+            result = campaign.run(plans=plans, pool=pool)
+            stats = pool.stats()
+            assert stats["shm_tasks"] == stats["tasks"] > 0
+            # The pool's lease keeps the spec's segments alive between
+            # campaigns (the warm-pool re-map path).
+            assert _segment_names() - before
+        finally:
+            pool.close()
+        assert not (_segment_names() - before)
+        assert result.trials == 8
+
+    def test_worker_crash_leaves_no_segments(self, untrained_lenet,
+                                             fresh_plane):
+        _live_plane()
+        campaign = _campaign(untrained_lenet)
+        plans = campaign.generate_plans(8)
+        before = _segment_names()
+        pool = CampaignPool(workers=2)
+        try:
+            campaign.run(plans=plans, pool=pool)
+            assert _segment_names() - before  # lease is holding segments
+            victims = list(pool._executor._processes)
+            assert victims
+            os.kill(victims[0], signal.SIGKILL)
+            # The executor notices the death on the next interaction.
+            with pytest.raises((BrokenProcessPool, OSError)):
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    _campaign(untrained_lenet).run(plans=plans, pool=pool)
+        finally:
+            pool.close()
+        # The kill removed a consumer, never a segment: the parent still
+        # owns every name and the close unlinked them all.
+        assert not (_segment_names() - before)
+
+    def test_store_and_server_close_release_golden_handles(self, fresh_plane):
+        _live_plane()
+        rng = np.random.default_rng(3)
+        caches = {0: {"conv1": rng.standard_normal((16, 16, 8))},
+                  1: {"conv1": rng.standard_normal((16, 16, 8))}}
+        before = _segment_names()
+        store = ArtifactStore()
+        assert store.put_golden_caches("spec-key", caches)
+        handle = store.get("golden", "spec-key")
+        assert hasattr(handle, "materialize")  # plane-backed handle
+        materialized = handle.materialize()
+        assert np.array_equal(materialized[0]["conv1"], caches[0]["conv1"])
+        assert _segment_names() - before
+        store.close()
+        assert not (_segment_names() - before)
+        # A server that builds its own store closes it (and its segments).
+        server = CampaignServer()
+        assert server.store.put_golden_caches("spec-key", caches)
+        assert _segment_names() - before
+        server.close()
+        assert not (_segment_names() - before)
+
+
+class TestFallback:
+    def test_disable_env_is_bit_identical_and_touches_nothing(
+            self, untrained_lenet, fresh_plane, monkeypatch):
+        campaign = _campaign(untrained_lenet)
+        plans = campaign.generate_plans(8)
+        reference = _campaign(untrained_lenet).run(plans=plans,
+                                                   keep_faults=True)
+        monkeypatch.setenv(shm.DISABLE_ENV, "1")
+        shm.reset_plane_for_tests()
+        assert shm.shm_disabled_by_env()
+        assert shm.shared_plane() is None
+        before = _segment_names()
+        fanned = _campaign(untrained_lenet).run(plans=plans, workers=2,
+                                                keep_faults=True)
+        assert fanned.sdc_counts == reference.sdc_counts
+        assert fanned.faults == reference.faults
+        assert _segment_names() == before  # the pickle path used no shm
+        with CampaignPool(workers=2) as pool:
+            pooled = _campaign(untrained_lenet).run(plans=plans, pool=pool,
+                                                    keep_faults=True)
+            stats = pool.stats()
+        assert pooled.sdc_counts == reference.sdc_counts
+        assert pooled.faults == reference.faults
+        assert stats["shm_tasks"] == 0
+        assert _segment_names() == before
+
+    def test_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv(shm.DISABLE_ENV, "0")
+        assert not shm.shm_disabled_by_env()
